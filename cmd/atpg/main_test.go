@@ -1,0 +1,22 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "v.vec")
+	if err := run("", "rca:width=3", out, 5000, false, false, true); err != nil {
+		t.Errorf("plain: %v", err)
+	}
+	if err := run("", "rca:width=3", "", 5000, true, true, true); err != nil {
+		t.Errorf("dominance+compact: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", 100, false, false, false); err == nil {
+		t.Error("expected error with no circuit")
+	}
+}

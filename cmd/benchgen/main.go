@@ -1,0 +1,72 @@
+// Command benchgen emits generated benchmark circuits in .bench format.
+//
+// Examples:
+//
+//	benchgen -gen tree:seed=7,leaves=200 > tree200.bench
+//	benchgen -gen mul:width=8 -o mul8.bench -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/vlog"
+)
+
+func main() {
+	var (
+		genSpec = flag.String("gen", "", "generator spec (see internal/cli)")
+		outPath = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "bench", "bench | verilog | dot")
+		stats   = flag.Bool("stats", false, "print circuit statistics to stderr")
+	)
+	flag.Parse()
+	if err := run(*genSpec, *outPath, *format, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(genSpec, outPath, format string, stats bool) error {
+	if genSpec == "" {
+		return fmt.Errorf("provide -gen <spec>; kinds: c17, tree, dag, cone, parity, rca, cmp, decoder, mul, rpr")
+	}
+	c, err := cli.Generate(genSpec)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	switch format {
+	case "bench":
+		if err := bench.Write(out, c); err != nil {
+			return err
+		}
+	case "verilog":
+		if err := vlog.Write(out, c); err != nil {
+			return err
+		}
+	case "dot":
+		if err := c.WriteDot(out); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if stats {
+		s := c.Stats()
+		fmt.Fprintf(os.Stderr, "%s\nstems: %d, fault sites (lines): %d, fanout-free: %v\n",
+			c, s.Stems, s.Lines, s.FanoutFree)
+	}
+	return nil
+}

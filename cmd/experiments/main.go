@@ -1,0 +1,93 @@
+// Command experiments regenerates every table and figure of the
+// reconstructed evaluation (E1..E8 in DESIGN.md) and prints them as
+// aligned ASCII; tables can also be exported as CSV files.
+//
+// Examples:
+//
+//	experiments               # full run (what EXPERIMENTS.md records)
+//	experiments -quick        # scaled-down run for smoke testing
+//	experiments -only E2,E6   # a subset
+//	experiments -csv out/     # also write E*.csv files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "scaled-down workloads")
+		only   = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4)")
+		csvDir = flag.String("csv", "", "directory to write per-table CSV files")
+	)
+	flag.Parse()
+	if err := run(*quick, *only, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, only, csvDir string) error {
+	cfg := exp.Config{Quick: quick}
+	type entry struct {
+		id string
+		fn func() (exp.Renderable, error)
+	}
+	entries := []entry{
+		{"E1", func() (exp.Renderable, error) { return exp.E1TestCounts(cfg) }},
+		{"E2", func() (exp.Renderable, error) { return exp.E2Insertion(cfg) }},
+		{"E3", func() (exp.Renderable, error) { return exp.E3Sweep(cfg) }},
+		{"E4", func() (exp.Renderable, error) { return exp.E4Coverage(cfg) }},
+		{"E5", func() (exp.Renderable, error) { return exp.E5Curve(cfg) }},
+		{"E6", func() (exp.Renderable, error) { return exp.E6Scaling(cfg) }},
+		{"E7", func() (exp.Renderable, error) { return exp.E7Reduction(cfg) }},
+		{"E8", func() (exp.Renderable, error) { return exp.E8Ablations(cfg) }},
+		{"E9", func() (exp.Renderable, error) { return exp.E9ScanTestTime(cfg) }},
+	}
+	selected := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range entries {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		start := time.Now()
+		r, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		if err := r.Write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(%s completed in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		if csvDir != "" {
+			if t, ok := r.(*exp.Table); ok {
+				f, err := os.Create(filepath.Join(csvDir, e.id+".csv"))
+				if err != nil {
+					return err
+				}
+				if err := t.CSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				f.Close()
+			}
+		}
+	}
+	return nil
+}

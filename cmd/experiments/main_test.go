@@ -1,0 +1,13 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "csv")
+	if err := run(true, "E2,E7", csv); err != nil {
+		t.Fatal(err)
+	}
+}

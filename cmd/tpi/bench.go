@@ -1,0 +1,13 @@
+package main
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+)
+
+// writeBench emits the circuit in .bench format.
+func writeBench(w io.Writer, c *netlist.Circuit) error {
+	return bench.Write(w, c)
+}

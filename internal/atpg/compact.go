@@ -1,0 +1,55 @@
+package atpg
+
+import (
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// CompactTests performs static (reverse-order) compaction of a test set:
+// vectors are considered latest-first, and a vector is kept only if it
+// detects some fault not detected by the vectors already kept. Because
+// PODEM targets remaining faults in order, late vectors tend to cover
+// many early faults incidentally, so reverse-order pruning removes the
+// early, now-redundant vectors. The returned set detects exactly the
+// same faults from the given list.
+func CompactTests(c *netlist.Circuit, faults []fault.Fault, vecs [][]bool) [][]bool {
+	if len(vecs) <= 1 {
+		return vecs
+	}
+	covered := make([]bool, len(faults))
+	remaining := len(faults)
+	// Pre-filter: faults no vector detects never block compaction.
+	detectable := make([]bool, len(faults))
+	for i, f := range faults {
+		for _, v := range vecs {
+			if vectorDetects(c, f, v) {
+				detectable[i] = true
+				break
+			}
+		}
+		if !detectable[i] {
+			covered[i] = true
+			remaining--
+		}
+	}
+	var kept [][]bool
+	for i := len(vecs) - 1; i >= 0 && remaining > 0; i-- {
+		v := vecs[i]
+		useful := false
+		for fi, f := range faults {
+			if !covered[fi] && vectorDetects(c, f, v) {
+				covered[fi] = true
+				remaining--
+				useful = true
+			}
+		}
+		if useful {
+			kept = append(kept, v)
+		}
+	}
+	// Restore original relative order.
+	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+		kept[i], kept[j] = kept[j], kept[i]
+	}
+	return kept
+}

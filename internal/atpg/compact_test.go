@@ -1,0 +1,93 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/pattern"
+	"repro/internal/testcount"
+)
+
+func TestCompactPreservesCoverage(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		c := gen.RandomDAG(seed, 10, 60, gen.DAGOptions{})
+		faults := fault.CollapsedUniverse(c)
+		ts, err := GenerateTests(c, faults, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compacted := CompactTests(c, faults, ts.Vectors)
+		if len(compacted) > len(ts.Vectors) {
+			t.Fatalf("seed %d: compaction grew the set", seed)
+		}
+		before, err := fsim.Run(c, faults, pattern.NewVectors(ts.Vectors), fsim.Options{
+			MaxPatterns: len(ts.Vectors) + 64, DropFaults: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := fsim.Run(c, faults, pattern.NewVectors(compacted), fsim.Options{
+			MaxPatterns: len(compacted) + 64, DropFaults: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after.FirstDetect) != len(before.FirstDetect) {
+			t.Errorf("seed %d: compaction lost coverage: %d -> %d detections",
+				seed, len(before.FirstDetect), len(after.FirstDetect))
+		}
+	}
+}
+
+func TestCompactCannotBeatProvenMinimum(t *testing.T) {
+	// On fanout-free circuits the Hayes count is the true minimum, so a
+	// compacted complete set can approach but never undercut it.
+	for seed := int64(0); seed < 5; seed++ {
+		c := gen.RandomTree(seed, 12, gen.TreeOptions{})
+		ct, err := testcount.Compute(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := fault.Universe(c)
+		ts, err := GenerateTests(c, faults, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compacted := CompactTests(c, faults, ts.Vectors)
+		if len(compacted) < ct.CircuitTests() {
+			t.Errorf("seed %d: compacted set (%d) undercuts the proven minimum (%d)",
+				seed, len(compacted), ct.CircuitTests())
+		}
+		if len(compacted) > len(ts.Vectors) {
+			t.Errorf("seed %d: compaction grew the set", seed)
+		}
+	}
+}
+
+func TestCompactActuallyShrinksSomething(t *testing.T) {
+	// Hand a deliberately padded set: the first vectors are duplicates.
+	c := gen.C17()
+	faults := fault.CollapsedUniverse(c)
+	ts, err := GenerateTests(c, faults, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := append([][]bool{}, ts.Vectors[0], ts.Vectors[0], ts.Vectors[0])
+	padded = append(padded, ts.Vectors...)
+	compacted := CompactTests(c, faults, padded)
+	if len(compacted) >= len(padded) {
+		t.Errorf("compaction kept all %d padded vectors", len(padded))
+	}
+}
+
+func TestCompactTinySets(t *testing.T) {
+	c := gen.C17()
+	faults := fault.CollapsedUniverse(c)
+	if got := CompactTests(c, faults, nil); len(got) != 0 {
+		t.Error("nil set must stay nil")
+	}
+	one := [][]bool{{true, true, true, true, true}}
+	if got := CompactTests(c, faults, one); len(got) != 1 {
+		t.Error("single vector must be kept")
+	}
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that anything it accepts
+// survives a write/re-parse round trip with the same shape.
+func FuzzParse(f *testing.F) {
+	f.Add(c17Text)
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = XOR(a, b)\n")
+	f.Add("# only a comment\n")
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = AND(a)\n")
+	f.Add("garbage = = (((\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src, "fuzz")
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Write(&sb, c); err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		c2, err := ParseString(sb.String(), "fuzz2")
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\n%s", err, sb.String())
+		}
+		if c2.NumGates() != c.NumGates() || c2.NumInputs() != c.NumInputs() || c2.NumOutputs() != c.NumOutputs() {
+			t.Fatalf("round trip changed shape: %v vs %v", c2, c)
+		}
+	})
+}

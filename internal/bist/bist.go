@@ -1,0 +1,217 @@
+// Package bist models the self-test environment around the
+// circuit-under-test: a multiple-input signature register (MISR)
+// compacting output responses, and a Session that runs pattern
+// generation, good/faulty simulation, and signature comparison — the
+// arrangement test point insertion was invented to serve. Signature
+// compaction introduces aliasing (a faulty response mapping to the good
+// signature); the package measures it.
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/pattern"
+)
+
+// MISR is a multiple-input signature register over GF(2): a 64-bit
+// Galois LFSR whose state is additionally XORed with one parallel input
+// word per cycle. Output responses of the circuit feed the inputs; after
+// the test session the state is the signature.
+type MISR struct {
+	state uint64
+	poly  uint64
+}
+
+// misrPoly is the same primitive polynomial the pattern LFSR uses; any
+// primitive polynomial gives the canonical ~2^-64 aliasing bound.
+const misrPoly = 0xd800000000000000
+
+// NewMISR returns a zero-initialised MISR.
+func NewMISR() *MISR { return &MISR{poly: misrPoly} }
+
+// Clock shifts the register once and folds in the input word.
+func (m *MISR) Clock(in uint64) {
+	out := m.state & 1
+	m.state >>= 1
+	if out == 1 {
+		m.state ^= m.poly
+	}
+	m.state ^= in
+}
+
+// Signature returns the accumulated signature.
+func (m *MISR) Signature() uint64 { return m.state }
+
+// Reset clears the register.
+func (m *MISR) Reset() { m.state = 0 }
+
+// packOutputs packs one pattern's primary output values into a word
+// (output i -> bit i; circuits with more than 64 outputs fold modulo 64,
+// a standard space-compaction step).
+func packOutputs(c *netlist.Circuit, vals []uint64, bit uint) uint64 {
+	var w uint64
+	for i, o := range c.Outputs() {
+		if vals[o]>>bit&1 == 1 {
+			w ^= 1 << uint(i%64)
+		}
+	}
+	return w
+}
+
+// Result reports a BIST session.
+type Result struct {
+	Patterns      int
+	GoodSignature uint64
+	// Detected[f] is true when the faulty-circuit signature differs from
+	// the good one.
+	Detected map[fault.Fault]bool
+	// Aliased lists faults whose responses differed from the good
+	// machine on some pattern yet whose final signature matched — the
+	// compaction losses.
+	Aliased []fault.Fault
+}
+
+// Coverage returns the fraction of faults whose signature differs.
+func (r *Result) Coverage() float64 {
+	if len(r.Detected) == 0 {
+		return 1
+	}
+	n := 0
+	for _, d := range r.Detected {
+		if d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Detected))
+}
+
+// Run executes a signature-based BIST session: `patterns` vectors from
+// src are applied to the good circuit and to each faulty circuit; every
+// response word is compacted into a MISR; a fault counts as detected
+// when its final signature differs from the good signature.
+//
+// This is the slow, literal reference flow (one whole-circuit resim per
+// fault) — it exists to model the BIST environment faithfully, including
+// aliasing, not to replace internal/fsim.
+func Run(c *netlist.Circuit, faults []fault.Fault, src pattern.Source, patterns int) (*Result, error) {
+	if patterns <= 0 {
+		return nil, fmt.Errorf("bist: patterns must be positive, got %d", patterns)
+	}
+	for _, f := range faults {
+		if f.Gate < 0 || f.Gate >= c.NumGates() {
+			return nil, fmt.Errorf("bist: fault %v: gate out of range", f)
+		}
+		if !f.IsStem() && f.Pin >= len(c.Fanin(f.Gate)) {
+			return nil, fmt.Errorf("bist: fault %v: pin out of range", f)
+		}
+	}
+	sim := logic.New(c)
+	words := make([]uint64, c.NumInputs())
+	// Collect the applied blocks so every faulty machine sees the same
+	// patterns.
+	var blocks [][]uint64
+	var counts []int
+	applied := 0
+	for applied < patterns {
+		n := src.FillBlock(words)
+		if n == 0 {
+			break
+		}
+		if applied+n > patterns {
+			n = patterns - applied
+		}
+		blk := make([]uint64, len(words))
+		copy(blk, words)
+		blocks = append(blocks, blk)
+		counts = append(counts, n)
+		applied += n
+	}
+
+	// Good signature, plus the good response words per pattern for the
+	// aliasing analysis.
+	good := NewMISR()
+	var goodWords []uint64
+	for bi, blk := range blocks {
+		if err := sim.Run(blk); err != nil {
+			return nil, err
+		}
+		for b := 0; b < counts[bi]; b++ {
+			w := packOutputs(c, sim.Values(), uint(b))
+			goodWords = append(goodWords, w)
+			good.Clock(w)
+		}
+	}
+
+	res := &Result{
+		Patterns:      applied,
+		GoodSignature: good.Signature(),
+		Detected:      make(map[fault.Fault]bool, len(faults)),
+	}
+	fsim := newFaultySim(c)
+	for _, f := range faults {
+		m := NewMISR()
+		differed := false
+		pi := 0
+		for bi, blk := range blocks {
+			vals := fsim.run(blk, f)
+			for b := 0; b < counts[bi]; b++ {
+				w := packOutputs(c, vals, uint(b))
+				if w != goodWords[pi] {
+					differed = true
+				}
+				m.Clock(w)
+				pi++
+			}
+		}
+		detected := m.Signature() != res.GoodSignature
+		res.Detected[f] = detected
+		if differed && !detected {
+			res.Aliased = append(res.Aliased, f)
+		}
+	}
+	return res, nil
+}
+
+// faultySim evaluates the whole circuit bit-parallel with one fault
+// injected (no event windowing — the reference implementation).
+type faultySim struct {
+	c    *netlist.Circuit
+	vals []uint64
+	buf  []uint64
+}
+
+func newFaultySim(c *netlist.Circuit) *faultySim {
+	return &faultySim{c: c, vals: make([]uint64, c.NumGates()), buf: make([]uint64, 0, 8)}
+}
+
+func (s *faultySim) run(inputWords []uint64, f fault.Fault) []uint64 {
+	c := s.c
+	var fv uint64
+	if f.Stuck {
+		fv = ^uint64(0)
+	}
+	for i, in := range c.Inputs() {
+		s.vals[in] = inputWords[i]
+	}
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Type != netlist.Input {
+			s.buf = s.buf[:0]
+			for pin, fin := range g.Fanin {
+				v := s.vals[fin]
+				if !f.IsStem() && f.Gate == id && f.Pin == pin {
+					v = fv
+				}
+				s.buf = append(s.buf, v)
+			}
+			s.vals[id] = g.Type.EvalWords(s.buf)
+		}
+		if f.IsStem() && f.Gate == id {
+			s.vals[id] = fv
+		}
+	}
+	return s.vals
+}

@@ -1,0 +1,150 @@
+package bist
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/pattern"
+)
+
+func TestMISRDeterministic(t *testing.T) {
+	a, b := NewMISR(), NewMISR()
+	for i := uint64(0); i < 100; i++ {
+		a.Clock(i * 0x9e3779b97f4a7c15)
+		b.Clock(i * 0x9e3779b97f4a7c15)
+	}
+	if a.Signature() != b.Signature() {
+		t.Error("identical input streams produced different signatures")
+	}
+	a.Reset()
+	if a.Signature() != 0 {
+		t.Error("reset did not clear the register")
+	}
+}
+
+func TestMISRSensitivity(t *testing.T) {
+	// Flipping one bit of one input word changes the signature (single
+	// errors never alias in an LFSR-based MISR).
+	base := NewMISR()
+	flip := NewMISR()
+	for i := 0; i < 50; i++ {
+		w := uint64(i) * 0x123456789
+		base.Clock(w)
+		if i == 25 {
+			w ^= 1 << 17
+		}
+		flip.Clock(w)
+	}
+	if base.Signature() == flip.Signature() {
+		t.Error("single-bit response error aliased")
+	}
+}
+
+func TestSessionMatchesFaultSimulator(t *testing.T) {
+	// Signature-based detection must agree with direct PO comparison
+	// except for aliasing, which the result reports explicitly.
+	c := gen.C17()
+	faults := fault.CollapsedUniverse(c)
+	const patterns = 256
+	res, err := Run(c, faults, pattern.NewLFSR(5), patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := fsim.Run(c, faults, pattern.NewLFSR(5), fsim.Options{MaxPatterns: patterns, DropFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliased := make(map[fault.Fault]bool)
+	for _, f := range res.Aliased {
+		aliased[f] = true
+	}
+	for _, f := range faults {
+		_, directDet := direct.FirstDetect[f]
+		sigDet := res.Detected[f]
+		switch {
+		case directDet && !sigDet && !aliased[f]:
+			t.Errorf("%s: PO-detected but signature matched without being reported aliased", f.Name(c))
+		case !directDet && sigDet:
+			t.Errorf("%s: signature differs but responses never did", f.Name(c))
+		case !directDet && aliased[f]:
+			t.Errorf("%s: reported aliased but never differed at POs", f.Name(c))
+		}
+	}
+}
+
+func TestSessionAliasingIsRare(t *testing.T) {
+	// With a 64-bit MISR, aliasing probability is ~2^-64; none of the
+	// few hundred faults here should alias.
+	c := gen.RandomDAG(3, 10, 80, gen.DAGOptions{})
+	faults := fault.CollapsedUniverse(c)
+	res, err := Run(c, faults, pattern.NewLFSR(9), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aliased) != 0 {
+		t.Errorf("%d faults aliased in a 64-bit MISR (expected none)", len(res.Aliased))
+	}
+	if res.Coverage() <= 0.5 {
+		t.Errorf("implausibly low signature coverage %.3f", res.Coverage())
+	}
+}
+
+func TestSessionManyOutputsFold(t *testing.T) {
+	// A decoder has more outputs than... well, 64 would need folding;
+	// dec6 has exactly 64 outputs, exercising the modulo path boundary.
+	c := gen.Decoder(6)
+	faults := fault.CollapsedUniverse(c)[:40]
+	res, err := Run(c, faults, pattern.NewCounter(6), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Patterns != 64 {
+		t.Errorf("patterns = %d, want 64", res.Patterns)
+	}
+	if res.Coverage() != 1.0 {
+		t.Errorf("exhaustive decoder coverage = %.3f, want 1.0 (aliased: %d)",
+			res.Coverage(), len(res.Aliased))
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	c := gen.C17()
+	if _, err := Run(c, nil, pattern.NewLFSR(1), 0); err == nil {
+		t.Error("expected error for zero patterns")
+	}
+	if _, err := Run(c, []fault.Fault{{Gate: 999, Pin: -1}}, pattern.NewLFSR(1), 16); err == nil {
+		t.Error("expected error for bad fault")
+	}
+}
+
+func TestSessionAfterTestPointInsertion(t *testing.T) {
+	// The end-to-end story: a resistant cone's signature coverage rises
+	// after control point insertion.
+	c := gen.AndCone(12)
+	faults := fault.CollapsedUniverse(c)
+	before, err := Run(c, faults, pattern.NewLFSR(2), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force-1 the two half-cone roots: excitation of the deep AND faults
+	// becomes 2^-2-ish instead of 2^-12.
+	root := c.Outputs()[0]
+	halves := c.Fanin(root)
+	mod, err := c.InsertTestPoints([]netlist.TestPoint{
+		{Signal: halves[0], Kind: netlist.Control1},
+		{Signal: halves[1], Kind: netlist.Control1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Run(mod, faults, pattern.NewLFSR(2), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Coverage() <= before.Coverage() {
+		t.Errorf("signature coverage did not improve: %.3f -> %.3f", before.Coverage(), after.Coverage())
+	}
+}

@@ -1,0 +1,125 @@
+// Package cli holds the helpers shared by the command-line tools:
+// loading circuits from .bench files or from generator specifications.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/vlog"
+)
+
+// LoadCircuit resolves exactly one of benchPath / genSpec into a circuit.
+// Netlist files ending in .v/.sv are read as structural Verilog,
+// everything else as .bench.
+func LoadCircuit(benchPath, genSpec string) (*netlist.Circuit, error) {
+	switch {
+	case benchPath != "" && genSpec != "":
+		return nil, fmt.Errorf("cli: -bench and -gen are mutually exclusive")
+	case benchPath != "":
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		name := strings.TrimSuffix(filepath.Base(benchPath), filepath.Ext(benchPath))
+		if ext := strings.ToLower(filepath.Ext(benchPath)); ext == ".v" || ext == ".sv" {
+			return vlog.Parse(f)
+		}
+		return bench.Parse(f, name)
+	case genSpec != "":
+		return Generate(genSpec)
+	}
+	return nil, fmt.Errorf("cli: provide -bench <file> or -gen <spec>")
+}
+
+// Generate builds a circuit from a generator specification of the form
+//
+//	kind:key=value,key=value
+//
+// Supported kinds and their keys (all integer-valued, with defaults):
+//
+//	c17                                  the ISCAS'85 c17 benchmark
+//	tree:seed=1,leaves=50                random fanout-free unate circuit
+//	dag:seed=1,inputs=16,gates=200      random reconvergent circuit
+//	cone:width=16                       wide AND cone
+//	parity:width=16                     balanced XOR tree
+//	rca:width=8                         ripple-carry adder
+//	cmp:width=8                         equality comparator
+//	decoder:bits=4                      n-to-2^n decoder
+//	mul:width=6                         array multiplier
+//	rpr:seed=1,cones=3,width=12,glue=80 random-pattern-resistant circuit
+//	bshift:width=16                     logarithmic barrel shifter
+//	alu:width=8                         2-bit-opcode ALU slice
+func Generate(spec string) (c *netlist.Circuit, err error) {
+	// The generators panic on out-of-range parameters (they are library
+	// preconditions); surface those as errors at the CLI boundary.
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, fmt.Errorf("cli: %v", r)
+		}
+	}()
+	kind := spec
+	args := map[string]int{}
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		kind = spec[:i]
+		for _, kv := range strings.Split(spec[i+1:], ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("cli: malformed generator argument %q", kv)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return nil, fmt.Errorf("cli: argument %q: %v", kv, err)
+			}
+			args[strings.TrimSpace(parts[0])] = v
+		}
+	}
+	get := func(key string, def int) int {
+		if v, ok := args[key]; ok {
+			return v
+		}
+		return def
+	}
+	switch kind {
+	case "c17":
+		return gen.C17(), nil
+	case "tree":
+		return gen.RandomTree(int64(get("seed", 1)), get("leaves", 50), gen.TreeOptions{
+			MaxFanin: get("fanin", 0),
+		}), nil
+	case "dag":
+		return gen.RandomDAG(int64(get("seed", 1)), get("inputs", 16), get("gates", 200), gen.DAGOptions{
+			MaxFanin: get("fanin", 0),
+		}), nil
+	case "cone":
+		return gen.AndCone(get("width", 16)), nil
+	case "parity":
+		return gen.ParityTree(get("width", 16)), nil
+	case "rca":
+		return gen.RippleCarryAdder(get("width", 8)), nil
+	case "cmp":
+		return gen.Comparator(get("width", 8)), nil
+	case "decoder":
+		return gen.Decoder(get("bits", 4)), nil
+	case "mul":
+		return gen.Multiplier(get("width", 6)), nil
+	case "rpr":
+		return gen.RPResistant(int64(get("seed", 1)), get("cones", 3), get("width", 12), get("glue", 80)), nil
+	case "bshift":
+		return gen.BarrelShifter(get("width", 16)), nil
+	case "alu":
+		return gen.ALUSlice(get("width", 8)), nil
+	}
+	return nil, fmt.Errorf("cli: unknown generator kind %q", kind)
+}

@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateSpecs(t *testing.T) {
+	cases := map[string]struct {
+		inputs, outputs int
+	}{
+		"c17":                                {5, 2},
+		"tree:seed=3,leaves=10":              {10, 1},
+		"dag:seed=1,inputs=8,gates=30":       {8, -1},
+		"cone:width=8":                       {8, 1},
+		"parity:width=8":                     {8, 1},
+		"rca:width=4":                        {9, 5},
+		"cmp:width=4":                        {8, 1},
+		"decoder:bits=3":                     {3, 8},
+		"mul:width=3":                        {6, 6},
+		"rpr:seed=1,cones=2,width=8,glue=20": {-1, -1},
+	}
+	for spec, want := range cases {
+		c, err := Generate(spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if want.inputs >= 0 && c.NumInputs() != want.inputs {
+			t.Errorf("%s: inputs = %d, want %d", spec, c.NumInputs(), want.inputs)
+		}
+		if want.outputs >= 0 && c.NumOutputs() != want.outputs {
+			t.Errorf("%s: outputs = %d, want %d", spec, c.NumOutputs(), want.outputs)
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	c, err := Generate("tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 50 {
+		t.Errorf("default tree leaves = %d, want 50", c.NumInputs())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	for _, spec := range []string{
+		"frobnicator",
+		"tree:leaves",     // malformed kv
+		"tree:leaves=ten", // non-integer
+		"cone:width=1",    // generator precondition -> recovered panic
+		"decoder:bits=99", // out of range
+	} {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("%s: expected error", spec)
+		}
+	}
+}
+
+func TestLoadCircuitBench(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "c17.bench")
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("testdata missing")
+	}
+	c, err := LoadCircuit(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "c17" || c.NumGates() != 11 {
+		t.Errorf("loaded %v", c)
+	}
+}
+
+func TestLoadCircuitExclusive(t *testing.T) {
+	if _, err := LoadCircuit("x.bench", "c17"); err == nil {
+		t.Error("expected mutual-exclusion error")
+	}
+	if _, err := LoadCircuit("", ""); err == nil {
+		t.Error("expected missing-source error")
+	}
+	if _, err := LoadCircuit("/nonexistent/file.bench", ""); err == nil {
+		t.Error("expected file error")
+	}
+}
+
+func TestGenerateDatapathSpecs(t *testing.T) {
+	for spec, inputs := range map[string]int{
+		"bshift:width=8": 11,
+		"alu:width=4":    10,
+	} {
+		c, err := Generate(spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if c.NumInputs() != inputs {
+			t.Errorf("%s: inputs = %d, want %d", spec, c.NumInputs(), inputs)
+		}
+	}
+}
+
+func TestLoadCircuitVerilog(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "c17.v")
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("testdata missing")
+	}
+	c, err := LoadCircuit(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 11 || c.NumInputs() != 5 {
+		t.Errorf("loaded %v", c)
+	}
+}

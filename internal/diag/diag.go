@@ -1,0 +1,260 @@
+// Package diag implements fault-dictionary diagnosis, the classic
+// downstream consumer of a fault simulator: every modelled fault's
+// pass/fail behaviour over a test set is recorded up front (the
+// dictionary); when a manufactured part fails, its observed syndrome is
+// matched against the dictionary to rank candidate defect sites. The
+// package supports both full-response dictionaries (per-pattern,
+// per-output mismatch bits) and compact pass/fail dictionaries, and
+// reports match quality so callers can distinguish exact hits from
+// nearest-neighbour guesses.
+package diag
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/pattern"
+)
+
+// Level selects dictionary resolution.
+type Level uint8
+
+const (
+	// PassFail records one bit per pattern: did the pattern detect the
+	// fault at any output. Small, the classic "stop on first fail" mode.
+	PassFail Level = iota
+	// FullResponse additionally records which outputs mismatched,
+	// distinguishing faults that fail the same patterns differently.
+	FullResponse
+)
+
+// Dictionary holds the precomputed syndromes of a fault list under a
+// fixed test set.
+type Dictionary struct {
+	Level    Level
+	Faults   []fault.Fault
+	Patterns int
+	// syndromes[i] is fault i's packed signature: pass/fail bits per
+	// pattern, then (FullResponse) per-pattern output mismatch masks.
+	syndromes [][]uint64
+	outputs   int
+}
+
+// Build fault-simulates every fault against the vectors and records its
+// syndrome. The test set is replayed bit-parallel; circuits with more
+// than 64 outputs fold output mismatch masks modulo 64 (FullResponse).
+func Build(c *netlist.Circuit, faults []fault.Fault, vecs [][]bool, level Level) (*Dictionary, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("diag: empty test set")
+	}
+	for _, f := range faults {
+		if f.Gate < 0 || f.Gate >= c.NumGates() {
+			return nil, fmt.Errorf("diag: fault %v: gate out of range", f)
+		}
+		if !f.IsStem() && f.Pin >= len(c.Fanin(f.Gate)) {
+			return nil, fmt.Errorf("diag: fault %v: pin out of range", f)
+		}
+	}
+	d := &Dictionary{
+		Level:     level,
+		Faults:    faults,
+		Patterns:  len(vecs),
+		syndromes: make([][]uint64, len(faults)),
+		outputs:   c.NumOutputs(),
+	}
+	good, err := responses(c, nil, vecs)
+	if err != nil {
+		return nil, err
+	}
+	for fi := range faults {
+		f := faults[fi]
+		bad, err := responses(c, &f, vecs)
+		if err != nil {
+			return nil, err
+		}
+		d.syndromes[fi] = syndrome(good, bad, len(vecs), level)
+	}
+	return d, nil
+}
+
+// responses simulates the circuit (optionally with one fault injected)
+// over the vectors and returns per-pattern packed output values:
+// out[p] = output bits of pattern p folded into one word.
+func responses(c *netlist.Circuit, f *fault.Fault, vecs [][]bool) ([]uint64, error) {
+	sim := logic.New(c)
+	src := pattern.NewVectors(vecs)
+	words := make([]uint64, c.NumInputs())
+	out := make([]uint64, 0, len(vecs))
+	scratch := make([]uint64, c.NumGates())
+	buf := make([]uint64, 0, 8)
+	for {
+		n := src.FillBlock(words)
+		if n == 0 {
+			break
+		}
+		var vals []uint64
+		if f == nil {
+			if err := sim.Run(words); err != nil {
+				return nil, err
+			}
+			vals = sim.Values()
+		} else {
+			// Faulty evaluation (whole circuit, reference-style).
+			var fv uint64
+			if f.Stuck {
+				fv = ^uint64(0)
+			}
+			for i, in := range c.Inputs() {
+				scratch[in] = words[i]
+			}
+			for _, id := range c.TopoOrder() {
+				g := c.Gate(id)
+				if g.Type != netlist.Input {
+					buf = buf[:0]
+					for pin, fin := range g.Fanin {
+						v := scratch[fin]
+						if !f.IsStem() && f.Gate == id && f.Pin == pin {
+							v = fv
+						}
+						buf = append(buf, v)
+					}
+					scratch[id] = g.Type.EvalWords(buf)
+				}
+				if f.IsStem() && f.Gate == id {
+					scratch[id] = fv
+				}
+			}
+			vals = scratch
+		}
+		for b := 0; b < n; b++ {
+			var w uint64
+			for oi, o := range c.Outputs() {
+				if vals[o]>>uint(b)&1 == 1 {
+					w ^= 1 << uint(oi%64)
+				}
+			}
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// syndrome packs the mismatch behaviour.
+func syndrome(good, bad []uint64, patterns int, level Level) []uint64 {
+	words := (patterns + 63) / 64
+	var s []uint64
+	if level == FullResponse {
+		s = make([]uint64, words+patterns)
+	} else {
+		s = make([]uint64, words)
+	}
+	for p := 0; p < patterns; p++ {
+		diff := good[p] ^ bad[p]
+		if diff != 0 {
+			s[p/64] |= 1 << uint(p%64)
+			if level == FullResponse {
+				s[words+p] = diff
+			}
+		}
+	}
+	return s
+}
+
+// Candidate is one diagnosis result.
+type Candidate struct {
+	Fault fault.Fault
+	// Distance is the Hamming distance between the observed syndrome and
+	// the candidate's dictionary entry (0 = exact match).
+	Distance int
+}
+
+// Diagnose matches an observed defective part against the dictionary.
+// The observed behaviour is supplied as the defective circuit itself
+// (dc), which is simulated over the same test set the dictionary was
+// built from; real flows would supply tester data instead. Candidates
+// are returned sorted by distance, exact matches first, ties broken by
+// fault order.
+func (d *Dictionary) Diagnose(c *netlist.Circuit, dc *netlist.Circuit, vecs [][]bool) ([]Candidate, error) {
+	if len(vecs) != d.Patterns {
+		return nil, fmt.Errorf("diag: test set has %d vectors, dictionary built with %d", len(vecs), d.Patterns)
+	}
+	good, err := responses(c, nil, vecs)
+	if err != nil {
+		return nil, err
+	}
+	observed, err := responses(dc, nil, vecs)
+	if err != nil {
+		return nil, err
+	}
+	obs := syndrome(good, observed, d.Patterns, d.Level)
+	cands := make([]Candidate, len(d.Faults))
+	for fi := range d.Faults {
+		cands[fi] = Candidate{Fault: d.Faults[fi], Distance: distance(obs, d.syndromes[fi])}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Distance < cands[j].Distance })
+	return cands, nil
+}
+
+// DiagnoseFault is the self-test variant: the "defective part" is the
+// original circuit with one modelled fault injected.
+func (d *Dictionary) DiagnoseFault(c *netlist.Circuit, f fault.Fault, vecs [][]bool) ([]Candidate, error) {
+	if len(vecs) != d.Patterns {
+		return nil, fmt.Errorf("diag: test set has %d vectors, dictionary built with %d", len(vecs), d.Patterns)
+	}
+	good, err := responses(c, nil, vecs)
+	if err != nil {
+		return nil, err
+	}
+	bad, err := responses(c, &f, vecs)
+	if err != nil {
+		return nil, err
+	}
+	obs := syndrome(good, bad, d.Patterns, d.Level)
+	cands := make([]Candidate, len(d.Faults))
+	for fi := range d.Faults {
+		cands[fi] = Candidate{Fault: d.Faults[fi], Distance: distance(obs, d.syndromes[fi])}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Distance < cands[j].Distance })
+	return cands, nil
+}
+
+func distance(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return n
+}
+
+// Resolution reports the dictionary's diagnostic quality over its own
+// fault list: the fraction of faults whose syndrome is unique (perfectly
+// diagnosable) and the size of the largest indistinguishable class.
+func (d *Dictionary) Resolution() (uniqueFraction float64, largestClass int) {
+	groups := make(map[string][]int)
+	for fi, s := range d.syndromes {
+		key := make([]byte, 0, len(s)*8)
+		for _, w := range s {
+			for shift := 0; shift < 64; shift += 8 {
+				key = append(key, byte(w>>uint(shift)))
+			}
+		}
+		groups[string(key)] = append(groups[string(key)], fi)
+	}
+	unique := 0
+	for _, g := range groups {
+		if len(g) == 1 {
+			unique++
+		}
+		if len(g) > largestClass {
+			largestClass = len(g)
+		}
+	}
+	if len(d.syndromes) == 0 {
+		return 1, 0
+	}
+	return float64(unique) / float64(len(d.syndromes)), largestClass
+}

@@ -1,0 +1,162 @@
+package diag
+
+import (
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// testSet builds a complete deterministic test set for the circuit.
+func testSet(t *testing.T, c *netlist.Circuit, faults []fault.Fault) [][]bool {
+	t.Helper()
+	ts, err := atpg.GenerateTests(c, faults, atpg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts.Vectors
+}
+
+func TestInjectedFaultAlwaysTopCandidateClass(t *testing.T) {
+	// Diagnosing a modelled fault must rank its equivalence class at
+	// distance zero — the dictionary's defining property.
+	for _, c := range []*netlist.Circuit{
+		gen.C17(),
+		gen.RandomDAG(2, 8, 40, gen.DAGOptions{}),
+		gen.RippleCarryAdder(3),
+	} {
+		faults := fault.CollapsedUniverse(c)
+		vecs := testSet(t, c, faults)
+		d, err := Build(c, faults, vecs, FullResponse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range faults {
+			cands, err := d.DiagnoseFault(c, f, vecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cands[0].Distance != 0 {
+				t.Fatalf("%s: %s: best candidate at distance %d", c.Name(), f.Name(c), cands[0].Distance)
+			}
+			// The injected fault itself must be among the distance-0 set.
+			found := false
+			for _, cand := range cands {
+				if cand.Distance > 0 {
+					break
+				}
+				if cand.Fault == f {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: %s not in its own distance-0 class", c.Name(), f.Name(c))
+			}
+		}
+	}
+}
+
+func TestFullResponseResolvesMoreThanPassFail(t *testing.T) {
+	c := gen.RandomDAG(7, 10, 60, gen.DAGOptions{})
+	faults := fault.CollapsedUniverse(c)
+	vecs := testSet(t, c, faults)
+	pf, err := Build(c, faults, vecs, PassFail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Build(c, faults, vecs, FullResponse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upf, _ := pf.Resolution()
+	ufr, _ := fr.Resolution()
+	if ufr < upf {
+		t.Errorf("full-response resolution %.3f below pass/fail %.3f", ufr, upf)
+	}
+	t.Logf("unique syndromes: pass/fail %.3f, full response %.3f", upf, ufr)
+}
+
+func TestDiagnoseDefectiveCircuit(t *testing.T) {
+	// Build a "defective part": c17 with one gate swapped NAND->AND,
+	// which behaves like no single modelled stuck-at exactly; diagnosis
+	// must still return a ranked list with a sensible nearest candidate.
+	c := gen.C17()
+	faults := fault.CollapsedUniverse(c)
+	vecs := testSet(t, c, faults)
+	d, err := Build(c, faults, vecs, FullResponse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := netlist.NewBuilder("c17bad")
+	g1 := b.Input("1")
+	g2 := b.Input("2")
+	g3 := b.Input("3")
+	g6 := b.Input("6")
+	g7 := b.Input("7")
+	g10 := b.NandGate("10", g1, g3)
+	g11 := b.NandGate("11", g3, g6)
+	g16 := b.AndGate("16", g2, g11) // defect: NAND fabricated as AND
+	g19 := b.NandGate("19", g11, g7)
+	g22 := b.NandGate("22", g10, g16)
+	g23 := b.NandGate("23", g16, g19)
+	b.MarkOutput(g22)
+	b.MarkOutput(g23)
+	bad := b.MustBuild()
+
+	cands, err := d.Diagnose(c, bad, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != len(faults) {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// The nearest candidates should implicate the neighbourhood of gate
+	// 16 (its output or fanout), since the defect lives there.
+	id16, _ := c.GateByName("16")
+	near := c.FanoutCone(id16)
+	nearSet := map[int]bool{}
+	for _, g := range near {
+		nearSet[g] = true
+	}
+	top := cands[0]
+	if !nearSet[top.Fault.Gate] {
+		t.Errorf("top candidate %s not in the defect neighbourhood", top.Fault.Name(c))
+	}
+}
+
+func TestResolutionBounds(t *testing.T) {
+	c := gen.C17()
+	faults := fault.CollapsedUniverse(c)
+	vecs := testSet(t, c, faults)
+	d, err := Build(c, faults, vecs, FullResponse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, largest := d.Resolution()
+	if u < 0 || u > 1 {
+		t.Errorf("unique fraction out of range: %f", u)
+	}
+	if largest < 1 {
+		t.Errorf("largest class = %d", largest)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	c := gen.C17()
+	if _, err := Build(c, fault.CollapsedUniverse(c), nil, PassFail); err == nil {
+		t.Error("expected error for empty test set")
+	}
+	if _, err := Build(c, []fault.Fault{{Gate: 999, Pin: -1}}, [][]bool{make([]bool, 5)}, PassFail); err == nil {
+		t.Error("expected error for bad fault")
+	}
+	d, err := Build(c, fault.CollapsedUniverse(c), [][]bool{make([]bool, 5)}, PassFail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DiagnoseFault(c, fault.Fault{Gate: 0, Pin: -1}, make([][]bool, 7)); err == nil {
+		t.Error("expected error for mismatched test set size")
+	}
+}

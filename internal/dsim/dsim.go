@@ -1,0 +1,352 @@
+// Package dsim implements deductive fault simulation, the classic
+// one-pass-per-pattern alternative to the bit-parallel PPSFP engine in
+// internal/fsim: for each applied pattern the good circuit is simulated
+// once, and a *fault list* is deduced for every line — the set of faults
+// whose presence would flip that line under this pattern. The lists at
+// the primary outputs are exactly the faults the pattern detects.
+//
+// Deduction rules per gate (v = good output, cv = controlling value):
+//
+//   - no input at cv: the output deviates iff any input deviates
+//     (union of input lists)
+//   - some inputs at cv: the output deviates iff every controlling input
+//     deviates and no non-controlling input does
+//     (intersection over controlling minus union over non-controlling)
+//   - XOR: parity — symmetric difference, folded pairwise
+//   - BUF/NOT and output inversions leave the deviation set unchanged
+//
+// The engine exists for two reasons: it is a faithful reproduction of the
+// era's second major fault simulation algorithm, and it cross-validates
+// internal/fsim — two independent implementations must agree pattern by
+// pattern.
+package dsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/pattern"
+)
+
+// Options mirrors the fsim knobs that make sense for a deductive run.
+type Options struct {
+	// MaxPatterns bounds the run (0 = 32768).
+	MaxPatterns int
+	// DropFaults removes detected faults from further deduction.
+	DropFaults bool
+}
+
+// Result reports the run. FirstDetect maps detected faults to the index
+// of the first detecting pattern, exactly like fsim.Result.
+type Result struct {
+	Faults      []fault.Fault
+	Patterns    int
+	FirstDetect map[fault.Fault]int
+}
+
+// Coverage returns the detected fraction.
+func (r *Result) Coverage() float64 {
+	if len(r.Faults) == 0 {
+		return 1
+	}
+	return float64(len(r.FirstDetect)) / float64(len(r.Faults))
+}
+
+// list is a sorted slice of fault indices (into the run's fault slice).
+type list []int32
+
+// engine holds per-run state.
+type engine struct {
+	c      *netlist.Circuit
+	faults []fault.Fault
+	// stemFaults[g] lists fault indices of stem faults at gate g, by
+	// stuck value.
+	stemFault0, stemFault1 []int32 // index+1, 0 = none
+	// branchFaults[g][pin] likewise for branch faults.
+	branch0, branch1 map[[2]int]int32
+	active           []bool
+	good             *logic.Simulator
+	lists            []list
+	scratch          list
+}
+
+// Run executes a deductive fault simulation.
+func Run(c *netlist.Circuit, faults []fault.Fault, src pattern.Source, opts Options) (*Result, error) {
+	if opts.MaxPatterns <= 0 {
+		opts.MaxPatterns = 32768
+	}
+	e := &engine{
+		c:          c,
+		faults:     faults,
+		stemFault0: make([]int32, c.NumGates()),
+		stemFault1: make([]int32, c.NumGates()),
+		branch0:    make(map[[2]int]int32),
+		branch1:    make(map[[2]int]int32),
+		active:     make([]bool, len(faults)),
+		good:       logic.New(c),
+		lists:      make([]list, c.NumGates()),
+	}
+	for i, f := range faults {
+		if f.Gate < 0 || f.Gate >= c.NumGates() {
+			return nil, fmt.Errorf("dsim: fault %v: gate out of range", f)
+		}
+		e.active[i] = true
+		switch {
+		case f.IsStem() && !f.Stuck:
+			e.stemFault0[f.Gate] = int32(i + 1)
+		case f.IsStem() && f.Stuck:
+			e.stemFault1[f.Gate] = int32(i + 1)
+		case f.Pin >= len(c.Fanin(f.Gate)):
+			return nil, fmt.Errorf("dsim: fault %v: pin out of range", f)
+		case !f.Stuck:
+			e.branch0[[2]int{f.Gate, f.Pin}] = int32(i + 1)
+		default:
+			e.branch1[[2]int{f.Gate, f.Pin}] = int32(i + 1)
+		}
+	}
+
+	res := &Result{Faults: faults, FirstDetect: make(map[fault.Fault]int)}
+	words := make([]uint64, c.NumInputs())
+	applied := 0
+	remaining := len(faults)
+	for applied < opts.MaxPatterns && remaining > 0 {
+		n := src.FillBlock(words)
+		if n == 0 {
+			break
+		}
+		if applied+n > opts.MaxPatterns {
+			n = opts.MaxPatterns - applied
+		}
+		if err := e.good.Run(words); err != nil {
+			return nil, err
+		}
+		for b := 0; b < n; b++ {
+			detected := e.deduce(uint(b))
+			for _, fi := range detected {
+				f := faults[fi]
+				if _, seen := res.FirstDetect[f]; !seen {
+					res.FirstDetect[f] = applied + b
+					if opts.DropFaults {
+						e.active[fi] = false
+						remaining--
+					}
+				}
+			}
+			if opts.DropFaults && remaining == 0 {
+				applied += b + 1
+				res.Patterns = applied
+				return res, nil
+			}
+		}
+		applied += n
+	}
+	res.Patterns = applied
+	return res, nil
+}
+
+// goodBit returns the good value of a signal in bit lane b.
+func (e *engine) goodBit(id int, b uint) bool {
+	return e.good.Value(id)>>b&1 == 1
+}
+
+// deduce computes all fault lists for one pattern lane and returns the
+// union of PO lists (deduplicated, sorted).
+func (e *engine) deduce(b uint) []int32 {
+	c := e.c
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		var l list
+		if g.Type == netlist.Input {
+			l = nil
+		} else {
+			l = e.deduceGate(id, g, b)
+		}
+		// The gate's own stem fault deviates the line when its stuck
+		// value differs from the good value.
+		v := e.goodBit(id, b)
+		var own int32
+		if v {
+			own = e.stemFault0[id]
+		} else {
+			own = e.stemFault1[id]
+		}
+		if own != 0 && e.active[own-1] {
+			// Copy before inserting: l may alias an upstream list (BUF/NOT
+			// pass lists through) and insertSorted writes in place.
+			l = insertSorted(append(list(nil), l...), own-1)
+		}
+		e.lists[id] = l
+	}
+	var det list
+	for _, o := range c.Outputs() {
+		det = unionInto(det, e.lists[o])
+	}
+	return det
+}
+
+// branchList returns the deviation list of the branch feeding pin `pin`
+// of gate id: the driver's list plus/minus the branch's own fault.
+func (e *engine) branchList(id int, pin int, driver int, b uint) list {
+	l := e.lists[driver]
+	v := e.goodBit(driver, b)
+	var own int32
+	if v {
+		own = e.branch0[[2]int{id, pin}]
+	} else {
+		own = e.branch1[[2]int{id, pin}]
+	}
+	if own != 0 && e.active[own-1] {
+		l = insertSorted(append(list(nil), l...), own-1)
+	}
+	return l
+}
+
+// deduceGate applies the deduction rules for one gate.
+func (e *engine) deduceGate(id int, g netlist.Gate, b uint) list {
+	switch g.Type {
+	case netlist.Buf, netlist.Not:
+		return e.branchList(id, 0, g.Fanin[0], b)
+	case netlist.Xor, netlist.Xnor:
+		// Parity: fold symmetric differences.
+		var acc list
+		for pin, f := range g.Fanin {
+			acc = symmetricDiff(acc, e.branchList(id, pin, f, b))
+		}
+		return acc
+	}
+	cv, _ := g.Type.ControllingValue()
+	var ctrl []list    // lists of inputs at the controlling value
+	var nonCtrl []list // lists of inputs at non-controlling values
+	for pin, f := range g.Fanin {
+		l := e.branchList(id, pin, f, b)
+		if e.goodBit(f, b) == cv {
+			ctrl = append(ctrl, l)
+		} else {
+			nonCtrl = append(nonCtrl, l)
+		}
+	}
+	if len(ctrl) == 0 {
+		// All inputs non-controlling: any deviation flips the output.
+		var acc list
+		for _, l := range nonCtrl {
+			acc = unionInto(acc, l)
+		}
+		return acc
+	}
+	// Output flips iff every controlling input deviates and no
+	// non-controlling input does.
+	acc := append(list(nil), ctrl[0]...)
+	for _, l := range ctrl[1:] {
+		acc = intersect(acc, l)
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	for _, l := range nonCtrl {
+		acc = subtract(acc, l)
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	return acc
+}
+
+// --- sorted int32 set operations ---
+
+func insertSorted(l list, x int32) list {
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= x })
+	if i < len(l) && l[i] == x {
+		return l
+	}
+	l = append(l, 0)
+	copy(l[i+1:], l[i:])
+	l[i] = x
+	return l
+}
+
+// unionInto returns acc ∪ l in a fresh/reused slice (acc may be
+// modified).
+func unionInto(acc, l list) list {
+	if len(l) == 0 {
+		return acc
+	}
+	if len(acc) == 0 {
+		return append(list(nil), l...)
+	}
+	out := make(list, 0, len(acc)+len(l))
+	i, j := 0, 0
+	for i < len(acc) && j < len(l) {
+		switch {
+		case acc[i] < l[j]:
+			out = append(out, acc[i])
+			i++
+		case acc[i] > l[j]:
+			out = append(out, l[j])
+			j++
+		default:
+			out = append(out, acc[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, acc[i:]...)
+	out = append(out, l[j:]...)
+	return out
+}
+
+func intersect(a, b list) list {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func subtract(a, b list) list {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j >= len(b) || b[j] != a[i] {
+			out = append(out, a[i])
+		}
+		i++
+	}
+	return out
+}
+
+func symmetricDiff(a, b list) list {
+	out := make(list, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,134 @@
+package dsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/pattern"
+)
+
+// crossValidate runs both engines on identical patterns and demands
+// identical first-detection results — two independent algorithms agreeing
+// pattern by pattern.
+func crossValidate(t *testing.T, c *netlist.Circuit, patterns int, seed uint64) {
+	t.Helper()
+	faults := fault.Universe(c)
+	ded, err := Run(c, faults, pattern.NewLFSR(seed), Options{MaxPatterns: patterns, DropFaults: true})
+	if err != nil {
+		t.Fatalf("dsim: %v", err)
+	}
+	ppsfp, err := fsim.Run(c, faults, pattern.NewLFSR(seed), fsim.Options{MaxPatterns: patterns, DropFaults: true})
+	if err != nil {
+		t.Fatalf("fsim: %v", err)
+	}
+	if len(ded.FirstDetect) != len(ppsfp.FirstDetect) {
+		t.Errorf("%s: deductive detects %d, PPSFP %d", c.Name(), len(ded.FirstDetect), len(ppsfp.FirstDetect))
+	}
+	for f, idx := range ppsfp.FirstDetect {
+		di, ok := ded.FirstDetect[f]
+		if !ok {
+			t.Errorf("%s: %s missed by deductive engine (PPSFP at %d)", c.Name(), f.Name(c), idx)
+			continue
+		}
+		if di != idx {
+			t.Errorf("%s: %s first detect %d (deductive) vs %d (PPSFP)", c.Name(), f.Name(c), di, idx)
+		}
+	}
+}
+
+func TestCrossValidateC17(t *testing.T) {
+	crossValidate(t, gen.C17(), 256, 7)
+}
+
+func TestCrossValidateRandomDAGs(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		crossValidate(t, gen.RandomDAG(seed, 10, 60, gen.DAGOptions{}), 512, uint64(seed)+1)
+	}
+}
+
+func TestCrossValidateStructured(t *testing.T) {
+	crossValidate(t, gen.RippleCarryAdder(5), 512, 3)
+	crossValidate(t, gen.ParityTree(9), 256, 4)
+	crossValidate(t, gen.Comparator(6), 512, 5)
+	crossValidate(t, gen.Multiplier(4), 512, 6)
+	crossValidate(t, gen.Decoder(4), 256, 7)
+}
+
+func TestCrossValidateTrees(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		crossValidate(t, gen.RandomTree(seed, 15, gen.TreeOptions{}), 256, uint64(seed)+11)
+	}
+}
+
+func TestCrossValidateQuickProperty(t *testing.T) {
+	// Property: on random small DAGs with random seeds the two engines
+	// agree on the detected set.
+	f := func(seed int64, lfsrSeed uint64) bool {
+		c := gen.RandomDAG(seed%32, 8, 30, gen.DAGOptions{})
+		faults := fault.Universe(c)
+		ded, err := Run(c, faults, pattern.NewLFSR(lfsrSeed), Options{MaxPatterns: 128, DropFaults: true})
+		if err != nil {
+			return false
+		}
+		pp, err := fsim.Run(c, faults, pattern.NewLFSR(lfsrSeed), fsim.Options{MaxPatterns: 128, DropFaults: true})
+		if err != nil {
+			return false
+		}
+		if len(ded.FirstDetect) != len(pp.FirstDetect) {
+			return false
+		}
+		for ft, idx := range pp.FirstDetect {
+			if ded.FirstDetect[ft] != idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeductiveExhaustiveCoverage(t *testing.T) {
+	// c17 exhaustive: full coverage, like the PPSFP engine.
+	c := gen.C17()
+	res, err := Run(c, fault.CollapsedUniverse(c), pattern.NewCounter(5), Options{MaxPatterns: 32, DropFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() != 1.0 {
+		t.Errorf("coverage = %.4f, want 1.0", res.Coverage())
+	}
+}
+
+func TestDeductiveNoDropping(t *testing.T) {
+	c := gen.C17()
+	faults := fault.CollapsedUniverse(c)
+	with, err := Run(c, faults, pattern.NewLFSR(1), Options{MaxPatterns: 256, DropFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(c, faults, pattern.NewLFSR(1), Options{MaxPatterns: 256, DropFaults: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, idx := range with.FirstDetect {
+		if without.FirstDetect[f] != idx {
+			t.Errorf("%s: dropping changed first detection", f.Name(c))
+		}
+	}
+}
+
+func TestDeductiveBadFault(t *testing.T) {
+	c := gen.C17()
+	if _, err := Run(c, []fault.Fault{{Gate: 999, Pin: -1}}, pattern.NewLFSR(1), Options{}); err == nil {
+		t.Error("expected error for bad gate")
+	}
+	if _, err := Run(c, []fault.Fault{{Gate: 5, Pin: 9}}, pattern.NewLFSR(1), Options{}); err == nil {
+		t.Error("expected error for bad pin")
+	}
+}

@@ -1,0 +1,179 @@
+// Package eqcheck decides functional equivalence of two combinational
+// circuits by simulation: exhaustively when the input count permits,
+// otherwise by dense random blocks. It is the safety net under every
+// netlist rewrite in this repository (test point insertion, XOR
+// expansion, optimization passes, format round trips).
+package eqcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Options configures a check.
+type Options struct {
+	// ExhaustiveLimit is the largest input count checked exhaustively
+	// (default 16). Above it, RandomBlocks random 64-pattern blocks are
+	// used instead.
+	ExhaustiveLimit int
+	// RandomBlocks is the number of random blocks for large circuits
+	// (default 256, i.e. 16384 patterns).
+	RandomBlocks int
+	// Seed drives the random blocks.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.ExhaustiveLimit <= 0 {
+		o.ExhaustiveLimit = 16
+	}
+	if o.RandomBlocks <= 0 {
+		o.RandomBlocks = 256
+	}
+}
+
+// Counterexample reports one distinguishing input assignment.
+type Counterexample struct {
+	Inputs []bool // per input of circuit a, in Inputs() order
+	Output int    // index into Outputs() that differs
+}
+
+// Equal reports whether circuits a and b compute the same function,
+// matching inputs and outputs by name when all names correspond and by
+// position otherwise. Exhaustive below the input limit (a proof),
+// randomized above it (a strong check). A non-nil Counterexample is
+// returned when they differ.
+func Equal(a, b *netlist.Circuit, opts Options) (bool, *Counterexample, error) {
+	opts.defaults()
+	if a.NumInputs() != b.NumInputs() {
+		return false, nil, fmt.Errorf("eqcheck: input counts differ: %d vs %d", a.NumInputs(), b.NumInputs())
+	}
+	if a.NumOutputs() != b.NumOutputs() {
+		return false, nil, fmt.Errorf("eqcheck: output counts differ: %d vs %d", a.NumOutputs(), b.NumOutputs())
+	}
+	inMap, err := pinMap(a, b, a.Inputs(), b.Inputs())
+	if err != nil {
+		return false, nil, fmt.Errorf("eqcheck: inputs: %w", err)
+	}
+	outMap, err := pinMap(a, b, a.Outputs(), b.Outputs())
+	if err != nil {
+		return false, nil, fmt.Errorf("eqcheck: outputs: %w", err)
+	}
+
+	simA := logic.New(a)
+	simB := logic.New(b)
+	n := a.NumInputs()
+	wordsA := make([]uint64, n)
+	wordsB := make([]uint64, n)
+
+	check := func(valid int) (*Counterexample, error) {
+		for i := range wordsA {
+			wordsB[inMap[i]] = wordsA[i]
+		}
+		if err := simA.Run(wordsA); err != nil {
+			return nil, err
+		}
+		if err := simB.Run(wordsB); err != nil {
+			return nil, err
+		}
+		mask := ^uint64(0)
+		if valid < 64 {
+			mask = uint64(1)<<uint(valid) - 1
+		}
+		for oi, oa := range a.Outputs() {
+			ob := b.Outputs()[outMap[oi]]
+			if diff := (simA.Value(oa) ^ simB.Value(ob)) & mask; diff != 0 {
+				bit := uint(0)
+				for diff>>bit&1 == 0 {
+					bit++
+				}
+				ce := &Counterexample{Output: oi, Inputs: make([]bool, n)}
+				for i := range ce.Inputs {
+					ce.Inputs[i] = wordsA[i]>>bit&1 == 1
+				}
+				return ce, nil
+			}
+		}
+		return nil, nil
+	}
+
+	if n <= opts.ExhaustiveLimit {
+		total := 1 << uint(n)
+		for base := 0; base < total; base += 64 {
+			valid := total - base
+			if valid > 64 {
+				valid = 64
+			}
+			for i := range wordsA {
+				wordsA[i] = 0
+			}
+			for bit := 0; bit < valid; bit++ {
+				v := base + bit
+				for i := 0; i < n; i++ {
+					if v>>uint(i)&1 == 1 {
+						wordsA[i] |= 1 << uint(bit)
+					}
+				}
+			}
+			ce, err := check(valid)
+			if err != nil {
+				return false, nil, err
+			}
+			if ce != nil {
+				return false, ce, nil
+			}
+		}
+		return true, nil, nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for blk := 0; blk < opts.RandomBlocks; blk++ {
+		for i := range wordsA {
+			wordsA[i] = rng.Uint64()
+		}
+		ce, err := check(64)
+		if err != nil {
+			return false, nil, err
+		}
+		if ce != nil {
+			return false, ce, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// pinMap maps pin positions of a onto b: identity when any name is
+// missing on either side, by-name otherwise.
+func pinMap(a, b *netlist.Circuit, pinsA, pinsB []int) ([]int, error) {
+	byName := make(map[string]int, len(pinsB))
+	for i, p := range pinsB {
+		byName[b.GateName(p)] = i
+	}
+	mapped := make([]int, len(pinsA))
+	used := make([]bool, len(pinsB))
+	allNamed := true
+	for i, p := range pinsA {
+		j, ok := byName[a.GateName(p)]
+		if !ok {
+			allNamed = false
+			break
+		}
+		mapped[i] = j
+		used[j] = true
+	}
+	if allNamed {
+		for j, u := range used {
+			if !u {
+				return nil, fmt.Errorf("pin %q of the second circuit unmatched", b.GateName(pinsB[j]))
+			}
+		}
+		return mapped, nil
+	}
+	// Positional fallback.
+	for i := range mapped {
+		mapped[i] = i
+	}
+	return mapped, nil
+}

@@ -1,0 +1,137 @@
+package eqcheck
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+func TestEqualSelf(t *testing.T) {
+	for _, c := range []*netlist.Circuit{
+		gen.C17(),
+		gen.RippleCarryAdder(4),
+		gen.RandomDAG(1, 8, 40, gen.DAGOptions{}),
+	} {
+		ok, ce, err := Equal(c, c, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !ok {
+			t.Errorf("%s: not equal to itself (counterexample %v)", c.Name(), ce)
+		}
+	}
+}
+
+func TestEqualAfterXorExpansion(t *testing.T) {
+	c := gen.RippleCarryAdder(4)
+	exp, err := c.ExpandXor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, ce, err := Equal(c, exp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("XOR expansion changed function: %v", ce)
+	}
+}
+
+func TestDetectsDifference(t *testing.T) {
+	// AND vs OR of the same inputs.
+	build := func(tp netlist.GateType) *netlist.Circuit {
+		b := netlist.NewBuilder("x")
+		a := b.Input("a")
+		x := b.Input("b")
+		g := b.Add(tp, "g", a, x)
+		b.MarkOutput(g)
+		return b.MustBuild()
+	}
+	ok, ce, err := Equal(build(netlist.And), build(netlist.Or), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("AND reported equal to OR")
+	}
+	if ce == nil {
+		t.Fatal("no counterexample returned")
+	}
+	// The counterexample must actually distinguish: exactly one input 1.
+	ones := 0
+	for _, v := range ce.Inputs {
+		if v {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Errorf("counterexample %v does not distinguish AND from OR", ce.Inputs)
+	}
+}
+
+func TestDetectsSubtleDifference(t *testing.T) {
+	// Identical except one gate's pin order on a NAND feeding an AND with
+	// an inverter — swap NAND to AND deep inside.
+	build := func(deep netlist.GateType) *netlist.Circuit {
+		b := netlist.NewBuilder("x")
+		a := b.Input("a")
+		x := b.Input("b")
+		y := b.Input("c")
+		g1 := b.Add(deep, "g1", a, x)
+		g2 := b.OrGate("g2", g1, y)
+		b.MarkOutput(g2)
+		return b.MustBuild()
+	}
+	ok, _, err := Equal(build(netlist.And), build(netlist.Nand), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("differing deep gates reported equal")
+	}
+}
+
+func TestNameBasedMatching(t *testing.T) {
+	// Same function, inputs declared in a different order: name matching
+	// must align them.
+	b1 := netlist.NewBuilder("p")
+	a1 := b1.Input("a")
+	x1 := b1.Input("b")
+	g1 := b1.AndGate("z", a1, b1.NotGate("nb", x1))
+	b1.MarkOutput(g1)
+	c1 := b1.MustBuild()
+
+	b2 := netlist.NewBuilder("q")
+	x2 := b2.Input("b") // order swapped
+	a2 := b2.Input("a")
+	g2 := b2.AndGate("z", a2, b2.NotGate("nb", x2))
+	b2.MarkOutput(g2)
+	c2 := b2.MustBuild()
+
+	ok, ce, err := Equal(c1, c2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("name-matched circuits reported different: %v", ce)
+	}
+}
+
+func TestShapeMismatchErrors(t *testing.T) {
+	if _, _, err := Equal(gen.C17(), gen.AndCone(4), Options{}); err == nil {
+		t.Error("expected error for mismatched pin counts")
+	}
+}
+
+func TestRandomizedLargeCircuits(t *testing.T) {
+	// 32 inputs forces the randomized path.
+	c := gen.RandomDAG(9, 32, 300, gen.DAGOptions{})
+	ok, _, err := Equal(c, c, Options{RandomBlocks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("large circuit not equal to itself under random blocks")
+	}
+}

@@ -1,0 +1,243 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quick = Config{Quick: true}
+
+func TestE1Rows(t *testing.T) {
+	tab, err := E1TestCounts(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("E1 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		dp, _ := strconv.Atoi(row[5])
+		atpgN, _ := strconv.Atoi(row[6])
+		compacted, _ := strconv.Atoi(row[7])
+		if atpgN < dp {
+			t.Errorf("%s: ATPG set %d below proven minimum %d", row[0], atpgN, dp)
+		}
+		if compacted < dp || compacted > atpgN {
+			t.Errorf("%s: compacted set %d outside [%d, %d]", row[0], compacted, dp, atpgN)
+		}
+		if red := row[8]; red != "0" {
+			t.Errorf("%s: fanout-free circuit reported %s redundant faults", row[0], red)
+		}
+	}
+}
+
+func TestE2DPDominates(t *testing.T) {
+	tab, err := E2Insertion(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		base, _ := strconv.Atoi(row[2])
+		dp, _ := strconv.Atoi(row[3])
+		greedy, _ := strconv.Atoi(row[5])
+		random, _ := strconv.Atoi(row[6])
+		if dp > base {
+			t.Errorf("%v: DP worse than base", row)
+		}
+		if dp > greedy || dp > random {
+			t.Errorf("%v: DP beaten by a baseline", row)
+		}
+		if ex := row[4]; ex != "-" {
+			exv, _ := strconv.Atoi(ex)
+			if exv != dp {
+				t.Errorf("%v: DP %d != exhaustive %d", row, dp, exv)
+			}
+		}
+	}
+}
+
+func TestE3MonotoneDecreasing(t *testing.T) {
+	s, err := E3Sweep(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Lines) != 2 {
+		t.Fatalf("lines = %d", len(s.Lines))
+	}
+	for _, line := range s.Lines {
+		prev := 1e18
+		for _, p := range line.Points {
+			if p.Y > prev {
+				t.Errorf("%s increased at K=%g: %g > %g", line.Name, p.X, p.Y, prev)
+			}
+			prev = p.Y
+		}
+	}
+	// DP never above greedy at matching K.
+	for i := range s.Lines[0].Points {
+		if s.Lines[0].Points[i].Y > s.Lines[1].Points[i].Y {
+			t.Errorf("DP above greedy at K=%g", s.Lines[0].Points[i].X)
+		}
+	}
+}
+
+func TestE4HybridWins(t *testing.T) {
+	tab, err := E4Coverage(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		base, _ := strconv.ParseFloat(row[3], 64)
+		hybrid, _ := strconv.ParseFloat(row[4], 64)
+		if hybrid < base-1e-9 {
+			t.Errorf("%s: hybrid coverage %.4f below base %.4f", row[0], hybrid, base)
+		}
+	}
+	// On at least one circuit the uplift must be strict — otherwise the
+	// experiment premise (test points help) fails.
+	improved := false
+	for _, row := range tab.Rows {
+		base, _ := strconv.ParseFloat(row[3], 64)
+		hybrid, _ := strconv.ParseFloat(row[4], 64)
+		if hybrid > base+1e-6 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("no circuit improved under the hybrid plan")
+	}
+}
+
+func TestE5CurveShapes(t *testing.T) {
+	s, err := E5Curve(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Lines) != 2 {
+		t.Fatalf("lines = %d", len(s.Lines))
+	}
+	with, orig := s.Lines[0], s.Lines[1]
+	// Both monotone nondecreasing; modified endpoint >= original endpoint.
+	for _, l := range []Line{with, orig} {
+		prev := -1.0
+		for _, p := range l.Points {
+			if p.Y < prev-1e-12 {
+				t.Errorf("%s: coverage decreased", l.Name)
+			}
+			prev = p.Y
+		}
+	}
+	if with.Points[len(with.Points)-1].Y < orig.Points[len(orig.Points)-1].Y-1e-9 {
+		t.Error("modified circuit ended below the original")
+	}
+}
+
+func TestE6DPAlwaysRunsExhaustiveCapped(t *testing.T) {
+	tab, err := E6Scaling(quick)
+	if err != nil {
+		t.Fatal(err) // E6 itself verifies DP == exhaustive where both run
+	}
+	sawCapped := false
+	for _, row := range tab.Rows {
+		if row[4] == "-" {
+			sawCapped = true
+		}
+	}
+	if !sawCapped {
+		t.Log("all sizes ran exhaustive; enlarge sizes to exercise the cap")
+	}
+}
+
+func TestE7AllAgree(t *testing.T) {
+	tab, err := E7Reduction(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[6] != "true" {
+			t.Errorf("instance %s: reduction disagreement: %v", row[0], row)
+		}
+	}
+}
+
+func TestE8RunsAndDPNotWorse(t *testing.T) {
+	tab, err := E8Ablations(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dpCost, grCost int
+	for _, row := range tab.Rows {
+		if row[0] == "a: cut planner" {
+			v, _ := strconv.Atoi(row[3])
+			if strings.HasPrefix(row[1], "DP") {
+				dpCost = v
+			} else {
+				grCost = v
+			}
+		}
+	}
+	if dpCost == 0 || grCost == 0 {
+		t.Fatal("ablation (a) rows missing")
+	}
+	if dpCost > grCost {
+		t.Errorf("DP %d worse than greedy %d", dpCost, grCost)
+	}
+}
+
+func TestE9SpeedupOrTargetMiss(t *testing.T) {
+	tab, err := E9ScanTestTime(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("E9 produced no rows")
+	}
+	for _, row := range tab.Rows {
+		if row[4] == "-" && row[3] != "-" {
+			t.Errorf("%s: TPI pushed circuit below target %s", row[0], row[2])
+		}
+		if row[3] != "-" && row[4] != "-" {
+			before, _ := strconv.Atoi(row[3])
+			after, _ := strconv.Atoi(row[4])
+			if after > before {
+				t.Errorf("%s: patterns to target %s rose %d -> %d", row[0], row[2], before, after)
+			}
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x,y", "z")
+	var sb strings.Builder
+	if err := tab.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "demo") || !strings.Contains(sb.String(), "2.5000") {
+		t.Errorf("table output: %s", sb.String())
+	}
+	var csv strings.Builder
+	if err := tab.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "\"x,y\"") {
+		t.Errorf("csv escaping: %s", csv.String())
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := &Series{
+		ID: "F", Title: "fig", XLabel: "x", YLabel: "y",
+		Lines: []Line{{Name: "l1", Points: []Point{{0, 0}, {1, 0.5}, {2, 1}}}},
+	}
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "#") {
+		t.Errorf("series output: %s", out)
+	}
+}

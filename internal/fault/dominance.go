@@ -1,0 +1,90 @@
+package fault
+
+import "repro/internal/netlist"
+
+// dominanceDrop records one dominance-based removal: every test that
+// detects Witness also detects Dropped, so Dropped need not be targeted.
+type dominanceDrop struct {
+	Dropped Fault // the class representative removed
+	Witness Fault // the class representative whose tests imply detection
+}
+
+// CollapseWithDominance reduces the fault universe by structural
+// equivalence (see Collapse) and then by gate-level dominance: for a gate
+// with a controlling value, the output fault at the non-controlled value
+// is detected by any test for any input fault at the non-controlling
+// value, so the output fault is dropped.
+//
+//   - AND:  out s-a-1 dropped (any in s-a-1 test detects it)
+//   - NAND: out s-a-0 dropped
+//   - OR:   out s-a-0 dropped
+//   - NOR:  out s-a-1 dropped
+//
+// Witness chains are acyclic (each step moves strictly toward the
+// primary inputs), so transitivity keeps the reduction sound: a complete
+// test set for the returned list detects every dropped fault. Dominance
+// collapsing is meant for test generation; coverage percentages over a
+// dominance-collapsed list are not comparable to equivalence-collapsed
+// numbers.
+func CollapseWithDominance(c *netlist.Circuit) []Fault {
+	kept, _ := collapseWithDominance(c)
+	return kept
+}
+
+func collapseWithDominance(c *netlist.Circuit) ([]Fault, []dominanceDrop) {
+	uf := buildUnions(c)
+	collapsed := Collapse(c, Universe(c))
+	repOf := make(map[Fault]Fault, len(collapsed))
+	for _, rep := range collapsed {
+		repOf[uf.find(rep)] = rep
+	}
+	classRep := func(f Fault) (Fault, bool) {
+		rep, ok := repOf[uf.find(f)]
+		return rep, ok
+	}
+	inputFault := func(id, pin int, v bool) Fault {
+		driver := c.Fanin(id)[pin]
+		if c.FanoutCount(driver) > 1 {
+			return Fault{Gate: id, Pin: pin, Stuck: v}
+		}
+		return Fault{Gate: driver, Pin: -1, Stuck: v}
+	}
+
+	dropped := make(map[Fault]bool)
+	var drops []dominanceDrop
+	for id := 0; id < c.NumGates(); id++ {
+		g := c.Gate(id)
+		cv, ok := g.Type.ControllingValue()
+		if !ok {
+			continue
+		}
+		// Output value when some input holds the controlling value; the
+		// dominated output fault is stuck at its complement.
+		controlled := cv
+		if g.Type.Inverting() {
+			controlled = !cv
+		}
+		dropFault := Fault{Gate: id, Pin: -1, Stuck: !controlled}
+		dRep, ok := classRep(dropFault)
+		if !ok || dropped[dRep] {
+			continue
+		}
+		// Witness: any input fault at the non-controlling value whose
+		// class is distinct from the dropped class.
+		for pin := range g.Fanin {
+			wRep, ok := classRep(inputFault(id, pin, !cv))
+			if ok && wRep != dRep {
+				dropped[dRep] = true
+				drops = append(drops, dominanceDrop{Dropped: dRep, Witness: wRep})
+				break
+			}
+		}
+	}
+	kept := make([]Fault, 0, len(collapsed)-len(dropped))
+	for _, rep := range collapsed {
+		if !dropped[rep] {
+			kept = append(kept, rep)
+		}
+	}
+	return kept, drops
+}

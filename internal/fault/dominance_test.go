@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// detectionSet returns the set of input vectors (as integers) detecting
+// the fault, by exhaustive two-copy simulation.
+func detectionSet(c *netlist.Circuit, f Fault) map[int]bool {
+	out := make(map[int]bool)
+	n := c.NumInputs()
+	vals := make([]bool, c.NumGates())
+	bad := make([]bool, c.NumGates())
+	in := make([]bool, 0, 8)
+	for v := 0; v < 1<<uint(n); v++ {
+		for i, pi := range c.Inputs() {
+			vals[pi] = v>>uint(i)&1 == 1
+			bad[pi] = vals[pi]
+		}
+		for _, id := range c.TopoOrder() {
+			g := c.Gate(id)
+			if g.Type != netlist.Input {
+				in = in[:0]
+				for _, fin := range g.Fanin {
+					in = append(in, vals[fin])
+				}
+				vals[id] = g.Type.Eval(in)
+				in = in[:0]
+				for pin, fin := range g.Fanin {
+					x := bad[fin]
+					if !f.IsStem() && f.Gate == id && f.Pin == pin {
+						x = f.Stuck
+					}
+					in = append(in, x)
+				}
+				bad[id] = g.Type.Eval(in)
+			}
+			if f.IsStem() && f.Gate == id {
+				bad[id] = f.Stuck
+			}
+		}
+		for _, o := range c.Outputs() {
+			if vals[o] != bad[o] {
+				out[v] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestDominanceWitnessContainment(t *testing.T) {
+	// The definitional property, checked exhaustively: every vector that
+	// detects a drop's witness also detects the dropped fault.
+	for seed := int64(0); seed < 6; seed++ {
+		c := gen.RandomDAG(seed, 8, 25, gen.DAGOptions{})
+		_, drops := collapseWithDominance(c)
+		if len(drops) == 0 {
+			continue
+		}
+		for _, d := range drops {
+			wset := detectionSet(c, d.Witness)
+			dset := detectionSet(c, d.Dropped)
+			for v := range wset {
+				if !dset[v] {
+					t.Errorf("seed %d: vector %d detects witness %s but not dropped %s",
+						seed, v, d.Witness.Name(c), d.Dropped.Name(c))
+				}
+			}
+		}
+	}
+}
+
+func TestDominanceChainsTerminate(t *testing.T) {
+	// Every dropped class's witness chain must end at a kept fault.
+	c := gen.RandomDAG(11, 10, 60, gen.DAGOptions{})
+	kept, drops := collapseWithDominance(c)
+	keptSet := make(map[Fault]bool, len(kept))
+	for _, f := range kept {
+		keptSet[f] = true
+	}
+	witnessOf := make(map[Fault]Fault, len(drops))
+	for _, d := range drops {
+		witnessOf[d.Dropped] = d.Witness
+	}
+	for _, d := range drops {
+		seen := map[Fault]bool{}
+		cur := d.Dropped
+		for !keptSet[cur] {
+			if seen[cur] {
+				t.Fatalf("witness cycle at %v", cur)
+			}
+			seen[cur] = true
+			w, ok := witnessOf[cur]
+			if !ok {
+				t.Fatalf("dropped fault %v has no witness and is not kept", cur)
+			}
+			cur = w
+		}
+	}
+}
+
+func TestDominanceReducesBelowEquivalence(t *testing.T) {
+	c := gen.C17()
+	eq := CollapsedUniverse(c)
+	dom := CollapseWithDominance(c)
+	if len(dom) >= len(eq) {
+		t.Errorf("dominance did not reduce: %d >= %d", len(dom), len(eq))
+	}
+	// Every dominance-kept fault is an equivalence representative.
+	eqSet := make(map[Fault]bool, len(eq))
+	for _, f := range eq {
+		eqSet[f] = true
+	}
+	for _, f := range dom {
+		if !eqSet[f] {
+			t.Errorf("dominance kept a non-representative fault %v", f)
+		}
+	}
+}
+
+func TestDominanceOnInverterChainNoop(t *testing.T) {
+	// BUF/NOT gates have no controlling value, so nothing is dropped.
+	b := netlist.NewBuilder("inv")
+	cur := b.Input("a")
+	for i := 0; i < 3; i++ {
+		cur = b.NotGate("", cur)
+	}
+	b.MarkOutput(cur)
+	c := b.MustBuild()
+	if got, want := len(CollapseWithDominance(c)), len(CollapsedUniverse(c)); got != want {
+		t.Errorf("inverter chain: dominance %d != equivalence %d", got, want)
+	}
+}
+
+func TestDominanceXorUntouched(t *testing.T) {
+	// XOR has no controlling value: its 6 faults all stay.
+	b := netlist.NewBuilder("x")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.XorGate("g", a, x)
+	b.MarkOutput(g)
+	c := b.MustBuild()
+	if got := len(CollapseWithDominance(c)); got != 6 {
+		t.Errorf("XOR dominance kept %d faults, want 6", got)
+	}
+}
+
+func TestDominanceAndGate(t *testing.T) {
+	// AND2: equivalence gives {a1, b1, class(a0,b0,g0), g1} = 4; dominance
+	// drops g1 -> 3.
+	b := netlist.NewBuilder("and2")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.AndGate("g", a, x)
+	b.MarkOutput(g)
+	c := b.MustBuild()
+	dom := CollapseWithDominance(c)
+	if len(dom) != 3 {
+		t.Fatalf("AND2 dominance kept %d faults, want 3: %v", len(dom), dom)
+	}
+	for _, f := range dom {
+		if f == (Fault{Gate: g, Pin: -1, Stuck: true}) {
+			t.Error("AND output s-a-1 survived dominance collapsing")
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package fault defines the single stuck-at fault model: the fault
+// universe over stems and fanout branches, and structural equivalence
+// collapsing.
+//
+// Fault sites follow the classic convention: every signal (gate output,
+// the "stem") carries stuck-at-0 and stuck-at-1 faults; additionally,
+// every fanout branch of a stem with more than one consumer carries its
+// own pair, because a branch fault affects only one consumer and is not
+// equivalent to the stem fault.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Fault identifies one single stuck-at fault.
+//
+// Pin == -1 denotes a stem fault on the output of Gate. Pin >= 0 denotes
+// a branch fault on input pin Pin of Gate (the branch from that pin's
+// driver into Gate).
+type Fault struct {
+	Gate  int
+	Pin   int
+	Stuck bool // stuck-at value: false = s-a-0, true = s-a-1
+}
+
+// IsStem reports whether the fault sits on a gate output stem.
+func (f Fault) IsStem() bool { return f.Pin < 0 }
+
+// String renders the fault in the conventional "signal s-a-v" form.
+func (f Fault) String() string {
+	sa := "s-a-0"
+	if f.Stuck {
+		sa = "s-a-1"
+	}
+	if f.IsStem() {
+		return fmt.Sprintf("g%d %s", f.Gate, sa)
+	}
+	return fmt.Sprintf("g%d.in%d %s", f.Gate, f.Pin, sa)
+}
+
+// Name renders the fault using circuit signal names.
+func (f Fault) Name(c *netlist.Circuit) string {
+	sa := "s-a-0"
+	if f.Stuck {
+		sa = "s-a-1"
+	}
+	if f.IsStem() {
+		return fmt.Sprintf("%s %s", c.GateName(f.Gate), sa)
+	}
+	driver := c.Fanin(f.Gate)[f.Pin]
+	return fmt.Sprintf("%s->%s %s", c.GateName(driver), c.GateName(f.Gate), sa)
+}
+
+// Universe enumerates the full uncollapsed fault list of the circuit:
+// stem faults on every signal, branch faults on every input pin whose
+// driver has fanout greater than one. Faults are returned in a
+// deterministic order (by gate, then pin, then stuck value).
+func Universe(c *netlist.Circuit) []Fault {
+	var faults []Fault
+	for id := 0; id < c.NumGates(); id++ {
+		faults = append(faults,
+			Fault{Gate: id, Pin: -1, Stuck: false},
+			Fault{Gate: id, Pin: -1, Stuck: true})
+	}
+	for id := 0; id < c.NumGates(); id++ {
+		for pin, f := range c.Fanin(id) {
+			if c.FanoutCount(f) > 1 {
+				faults = append(faults,
+					Fault{Gate: id, Pin: pin, Stuck: false},
+					Fault{Gate: id, Pin: pin, Stuck: true})
+			}
+		}
+	}
+	sortFaults(faults)
+	return faults
+}
+
+func sortFaults(faults []Fault) {
+	sort.Slice(faults, func(i, j int) bool {
+		a, b := faults[i], faults[j]
+		if a.Gate != b.Gate {
+			return a.Gate < b.Gate
+		}
+		if a.Pin != b.Pin {
+			return a.Pin < b.Pin
+		}
+		return !a.Stuck && b.Stuck
+	})
+}
+
+// buildUnions applies the local structural equivalence rules transitively:
+//
+//   - BUF: input s-a-v ≡ output s-a-v
+//   - NOT: input s-a-v ≡ output s-a-(1-v)
+//   - AND: every input s-a-0 ≡ output s-a-0 (NAND: ≡ output s-a-1)
+//   - OR: every input s-a-1 ≡ output s-a-1 (NOR: ≡ output s-a-0)
+//
+// "Input" means the branch fault when the driver has fanout greater than
+// one, otherwise the driver's stem fault (a single-consumer branch is the
+// same line as its stem).
+func buildUnions(c *netlist.Circuit) *unionFind {
+	uf := newUnionFind()
+	inputFault := func(id, pin int, v bool) Fault {
+		driver := c.Fanin(id)[pin]
+		if c.FanoutCount(driver) > 1 {
+			return Fault{Gate: id, Pin: pin, Stuck: v}
+		}
+		return Fault{Gate: driver, Pin: -1, Stuck: v}
+	}
+	for id := 0; id < c.NumGates(); id++ {
+		g := c.Gate(id)
+		out0 := Fault{Gate: id, Pin: -1, Stuck: false}
+		out1 := Fault{Gate: id, Pin: -1, Stuck: true}
+		switch g.Type {
+		case netlist.Buf:
+			uf.union(inputFault(id, 0, false), out0)
+			uf.union(inputFault(id, 0, true), out1)
+		case netlist.Not:
+			uf.union(inputFault(id, 0, false), out1)
+			uf.union(inputFault(id, 0, true), out0)
+		case netlist.And:
+			for pin := range g.Fanin {
+				uf.union(inputFault(id, pin, false), out0)
+			}
+		case netlist.Nand:
+			for pin := range g.Fanin {
+				uf.union(inputFault(id, pin, false), out1)
+			}
+		case netlist.Or:
+			for pin := range g.Fanin {
+				uf.union(inputFault(id, pin, true), out1)
+			}
+		case netlist.Nor:
+			for pin := range g.Fanin {
+				uf.union(inputFault(id, pin, true), out0)
+			}
+		}
+	}
+	return uf
+}
+
+// Collapse reduces the fault list by structural equivalence (the rules
+// documented on buildUnions). One representative per class is kept: the
+// topologically earliest site (ties broken deterministically), matching
+// the usual convention of pushing representatives toward primary inputs.
+func Collapse(c *netlist.Circuit, faults []Fault) []Fault {
+	uf := buildUnions(c)
+	classBest := make(map[Fault]Fault)
+	better := func(a, b Fault) bool {
+		la, lb := c.Level(a.Gate), c.Level(b.Gate)
+		if la != lb {
+			return la < lb
+		}
+		if a.Gate != b.Gate {
+			return a.Gate < b.Gate
+		}
+		if a.Pin != b.Pin {
+			return a.Pin < b.Pin
+		}
+		return !a.Stuck && b.Stuck
+	}
+	for _, f := range faults {
+		root := uf.find(f)
+		cur, ok := classBest[root]
+		if !ok || better(f, cur) {
+			classBest[root] = f
+		}
+	}
+	out := make([]Fault, 0, len(classBest))
+	for _, f := range classBest {
+		out = append(out, f)
+	}
+	sortFaults(out)
+	return out
+}
+
+// CollapsedUniverse is shorthand for Collapse(c, Universe(c)).
+func CollapsedUniverse(c *netlist.Circuit) []Fault {
+	return Collapse(c, Universe(c))
+}
+
+// EquivalenceClasses returns the partition of the given fault list into
+// structural equivalence classes, each sorted deterministically, ordered
+// by their first member.
+func EquivalenceClasses(c *netlist.Circuit, faults []Fault) [][]Fault {
+	uf := buildUnions(c)
+	groups := make(map[Fault][]Fault)
+	for _, f := range faults {
+		root := uf.find(f)
+		groups[root] = append(groups[root], f)
+	}
+	out := make([][]Fault, 0, len(groups))
+	for _, g := range groups {
+		sortFaults(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i][0], out[j][0]
+		if a.Gate != b.Gate {
+			return a.Gate < b.Gate
+		}
+		if a.Pin != b.Pin {
+			return a.Pin < b.Pin
+		}
+		return !a.Stuck && b.Stuck
+	})
+	return out
+}
+
+// unionFind is a map-based disjoint-set over Faults.
+type unionFind struct {
+	parent map[Fault]Fault
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[Fault]Fault)} }
+
+func (u *unionFind) find(f Fault) Fault {
+	p, ok := u.parent[f]
+	if !ok {
+		return f
+	}
+	root := u.find(p)
+	u.parent[f] = root
+	return root
+}
+
+func (u *unionFind) union(a, b Fault) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

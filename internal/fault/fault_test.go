@@ -1,0 +1,197 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+func TestUniverseCounts(t *testing.T) {
+	// c17: 11 signals -> 22 stem faults. Fanout stems: input 3, gates 11
+	// and 16 (2 branches each) -> 6 branches -> 12 branch faults. Total 34.
+	c := gen.C17()
+	u := Universe(c)
+	if len(u) != 34 {
+		t.Errorf("universe size = %d, want 34", len(u))
+	}
+	stems, branches := 0, 0
+	for _, f := range u {
+		if f.IsStem() {
+			stems++
+		} else {
+			branches++
+		}
+	}
+	if stems != 22 || branches != 12 {
+		t.Errorf("stems=%d branches=%d, want 22/12", stems, branches)
+	}
+}
+
+func TestUniverseDeterministic(t *testing.T) {
+	c := gen.RandomDAG(1, 8, 50, gen.DAGOptions{})
+	a := Universe(c)
+	b := Universe(c)
+	if len(a) != len(b) {
+		t.Fatal("universe size differs across calls")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCollapseC17(t *testing.T) {
+	// The standard collapsed fault count for c17 is 22.
+	c := gen.C17()
+	collapsed := CollapsedUniverse(c)
+	if len(collapsed) != 22 {
+		t.Errorf("collapsed c17 = %d faults, want 22", len(collapsed))
+	}
+}
+
+func TestCollapseInverterChain(t *testing.T) {
+	// a -> NOT -> NOT -> NOT -> out: all faults collapse to 2 classes.
+	b := netlist.NewBuilder("invchain")
+	a := b.Input("a")
+	n1 := b.NotGate("n1", a)
+	n2 := b.NotGate("n2", n1)
+	n3 := b.NotGate("n3", n2)
+	b.MarkOutput(n3)
+	c := b.MustBuild()
+	collapsed := CollapsedUniverse(c)
+	if len(collapsed) != 2 {
+		t.Errorf("inverter chain collapsed to %d faults, want 2: %v", len(collapsed), collapsed)
+	}
+	// Representatives must sit at the input (level 0).
+	for _, f := range collapsed {
+		if c.Level(f.Gate) != 0 {
+			t.Errorf("representative %v not at level 0", f)
+		}
+	}
+}
+
+func TestCollapseAndGate(t *testing.T) {
+	// 2-input AND: universe = 6 faults (a0,a1,b0,b1,g0,g1); a0 ≡ b0 ≡ g0,
+	// so collapsed = 4.
+	b := netlist.NewBuilder("and2")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.AndGate("g", a, x)
+	b.MarkOutput(g)
+	c := b.MustBuild()
+	collapsed := CollapsedUniverse(c)
+	if len(collapsed) != 4 {
+		t.Errorf("AND2 collapsed to %d faults, want 4: %v", len(collapsed), collapsed)
+	}
+}
+
+func TestCollapseXorKeepsAll(t *testing.T) {
+	// XOR has no structural equivalences: 6 faults stay 6.
+	b := netlist.NewBuilder("xor2")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.XorGate("g", a, x)
+	b.MarkOutput(g)
+	c := b.MustBuild()
+	collapsed := CollapsedUniverse(c)
+	if len(collapsed) != 6 {
+		t.Errorf("XOR2 collapsed to %d faults, want 6", len(collapsed))
+	}
+}
+
+func TestBranchFaultsNotCollapsedAcrossStem(t *testing.T) {
+	// A fanout stem's branches are distinct fault sites: stem s feeds two
+	// AND gates; branch s->g1 s-a-0 is NOT equivalent to branch s->g2
+	// s-a-0, though each is equivalent to its gate's output s-a-0.
+	b := netlist.NewBuilder("fan")
+	a := b.Input("a")
+	x := b.Input("b")
+	y := b.Input("c")
+	g1 := b.AndGate("g1", a, x)
+	g2 := b.AndGate("g2", a, y)
+	b.MarkOutput(g1)
+	b.MarkOutput(g2)
+	c := b.MustBuild()
+	classes := EquivalenceClasses(c, Universe(c))
+	// Find the classes containing g1 out s-a-0 and g2 out s-a-0.
+	id1, _ := c.GateByName("g1")
+	id2, _ := c.GateByName("g2")
+	var class1, class2 []Fault
+	for _, cl := range classes {
+		for _, f := range cl {
+			if f == (Fault{Gate: id1, Pin: -1, Stuck: false}) {
+				class1 = cl
+			}
+			if f == (Fault{Gate: id2, Pin: -1, Stuck: false}) {
+				class2 = cl
+			}
+		}
+	}
+	if class1 == nil || class2 == nil {
+		t.Fatal("classes not found")
+	}
+	if &class1[0] == &class2[0] {
+		t.Error("branch faults of different consumers collapsed together")
+	}
+	// Each class: {branch a->gi s-a-0, input xi s-a-0, out gi s-a-0} = 3.
+	if len(class1) != 3 || len(class2) != 3 {
+		t.Errorf("class sizes %d/%d, want 3/3", len(class1), len(class2))
+	}
+}
+
+func TestCollapseReductionRatio(t *testing.T) {
+	// Equivalence collapsing conventionally removes 30-60% of faults on
+	// random logic.
+	c := gen.RandomDAG(17, 16, 300, gen.DAGOptions{})
+	u := Universe(c)
+	col := Collapse(c, u)
+	ratio := float64(len(col)) / float64(len(u))
+	if ratio >= 1.0 {
+		t.Errorf("collapse removed nothing (%d -> %d)", len(u), len(col))
+	}
+	if ratio < 0.2 {
+		t.Errorf("collapse ratio %.2f suspiciously aggressive", ratio)
+	}
+}
+
+func TestEquivalenceClassesPartition(t *testing.T) {
+	c := gen.C17()
+	u := Universe(c)
+	classes := EquivalenceClasses(c, u)
+	total := 0
+	seen := make(map[Fault]bool)
+	for _, cl := range classes {
+		total += len(cl)
+		for _, f := range cl {
+			if seen[f] {
+				t.Errorf("fault %v appears in two classes", f)
+			}
+			seen[f] = true
+		}
+	}
+	if total != len(u) {
+		t.Errorf("classes cover %d faults, universe has %d", total, len(u))
+	}
+	if len(classes) != len(Collapse(c, u)) {
+		t.Errorf("class count %d != collapsed count %d", len(classes), len(Collapse(c, u)))
+	}
+}
+
+func TestFaultStringAndName(t *testing.T) {
+	c := gen.C17()
+	g10, _ := c.GateByName("10")
+	f := Fault{Gate: g10, Pin: -1, Stuck: true}
+	if f.String() == "" || f.Name(c) != "10 s-a-1" {
+		t.Errorf("Name = %q", f.Name(c))
+	}
+	g16, _ := c.GateByName("16")
+	bf := Fault{Gate: g16, Pin: 1, Stuck: false}
+	if bf.Name(c) != "11->16 s-a-0" {
+		t.Errorf("branch Name = %q", bf.Name(c))
+	}
+	if bf.IsStem() {
+		t.Error("branch fault claims to be stem")
+	}
+}

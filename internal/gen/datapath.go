@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// mux2 emits a 2:1 multiplexer: out = sel ? hi : lo.
+func mux2(b *netlist.Builder, sel, lo, hi int) int {
+	ns := b.NotGate("", sel)
+	t0 := b.AndGate("", lo, ns)
+	t1 := b.AndGate("", hi, sel)
+	return b.OrGate("", t0, t1)
+}
+
+// BarrelShifter returns a logarithmic barrel shifter: width data inputs
+// d0..d(w-1), log2(width) select inputs, outputs the input word rotated
+// left by the select amount. Every select line fans out across the whole
+// datapath and the mux stages reconverge heavily — the classic
+// "testability nightmare" structure control point papers use.
+func BarrelShifter(width int) *netlist.Circuit {
+	if width < 2 || width&(width-1) != 0 || width > 256 {
+		panic("gen: BarrelShifter needs a power-of-two width in [2,256]")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("bshift%d", width))
+	stages := 0
+	for 1<<uint(stages) < width {
+		stages++
+	}
+	data := make([]int, width)
+	for i := range data {
+		data[i] = b.Input(fmt.Sprintf("d%d", i))
+	}
+	sel := make([]int, stages)
+	for s := range sel {
+		sel[s] = b.Input(fmt.Sprintf("s%d", s))
+	}
+	cur := data
+	for s := 0; s < stages; s++ {
+		shift := 1 << uint(s)
+		next := make([]int, width)
+		for i := 0; i < width; i++ {
+			next[i] = mux2(b, sel[s], cur[i], cur[(i+shift)%width])
+		}
+		cur = next
+	}
+	for i, o := range cur {
+		b.MarkOutput(b.BufGate(fmt.Sprintf("q%d", i), o))
+	}
+	return b.MustBuild()
+}
+
+// ALUSlice returns a width-bit arithmetic-logic unit with a 2-bit
+// operation select: 00 = AND, 01 = OR, 10 = XOR, 11 = ADD (ripple
+// carry). The op-select decoder fans out to every bit slice, mixing
+// easy logic operations with the reconvergent carry chain.
+func ALUSlice(width int) *netlist.Circuit {
+	if width < 2 || width > 64 {
+		panic("gen: ALUSlice needs width in [2,64]")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("alu%d", width))
+	av := make([]int, width)
+	bv := make([]int, width)
+	for i := 0; i < width; i++ {
+		av[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < width; i++ {
+		bv[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	op0 := b.Input("op0")
+	op1 := b.Input("op1")
+	carry := -1
+	for i := 0; i < width; i++ {
+		andv := b.AndGate(fmt.Sprintf("and%d", i), av[i], bv[i])
+		orv := b.OrGate(fmt.Sprintf("or%d", i), av[i], bv[i])
+		xorv := b.XorGate(fmt.Sprintf("xor%d", i), av[i], bv[i])
+		var sum int
+		if i == 0 {
+			sum = xorv
+			carry = andv
+		} else {
+			sum = b.XorGate(fmt.Sprintf("sum%d", i), xorv, carry)
+			t := b.AndGate("", xorv, carry)
+			carry = b.OrGate(fmt.Sprintf("c%d", i), andv, t)
+		}
+		// Result mux: op1 selects between (logic pair) and (xor/add).
+		lo := mux2(b, op0, andv, orv) // 00 AND, 01 OR
+		hi := mux2(b, op0, xorv, sum) // 10 XOR, 11 ADD
+		b.MarkOutput(b.BufGate(fmt.Sprintf("r%d", i), mux2(b, op1, lo, hi)))
+	}
+	b.MarkOutput(b.BufGate("cout", carry))
+	return b.MustBuild()
+}

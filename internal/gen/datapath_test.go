@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestBarrelShifterFunction(t *testing.T) {
+	const w = 8
+	c := BarrelShifter(w)
+	if c.NumInputs() != w+3 || c.NumOutputs() != w {
+		t.Fatalf("shape: %v", c)
+	}
+	if !c.HasReconvergentFanout() {
+		t.Error("barrel shifter must be reconvergent")
+	}
+	for data := 0; data < 256; data += 37 {
+		for amt := 0; amt < w; amt++ {
+			vals := evalCircuit(c, func(_, idx int) bool {
+				if idx < w {
+					return data>>uint(idx)&1 == 1
+				}
+				return amt>>uint(idx-w)&1 == 1
+			})
+			got := 0
+			for i, o := range c.Outputs() {
+				if vals[o] {
+					got |= 1 << uint(i)
+				}
+			}
+			// Rotate left by amt: output bit i = input bit (i+amt) mod w.
+			want := 0
+			for i := 0; i < w; i++ {
+				if data>>uint((i+amt)%w)&1 == 1 {
+					want |= 1 << uint(i)
+				}
+			}
+			if got != want {
+				t.Fatalf("rot(%08b, %d) = %08b, want %08b", data, amt, got, want)
+			}
+		}
+	}
+}
+
+func TestBarrelShifterPanics(t *testing.T) {
+	for _, w := range []int{0, 3, 6, 512} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d: expected panic", w)
+				}
+			}()
+			BarrelShifter(w)
+		}()
+	}
+}
+
+func TestALUSliceFunction(t *testing.T) {
+	const w = 4
+	c := ALUSlice(w)
+	if c.NumInputs() != 2*w+2 {
+		t.Fatalf("inputs = %d", c.NumInputs())
+	}
+	if c.NumOutputs() != w+1 {
+		t.Fatalf("outputs = %d", c.NumOutputs())
+	}
+	for av := 0; av < 1<<w; av++ {
+		for bv := 0; bv < 1<<w; bv++ {
+			for op := 0; op < 4; op++ {
+				vals := evalCircuit(c, func(_, idx int) bool {
+					switch {
+					case idx < w:
+						return av>>uint(idx)&1 == 1
+					case idx < 2*w:
+						return bv>>uint(idx-w)&1 == 1
+					case idx == 2*w:
+						return op&1 == 1
+					default:
+						return op&2 == 2
+					}
+				})
+				got := 0
+				for i := 0; i < w; i++ {
+					if vals[c.Outputs()[i]] {
+						got |= 1 << uint(i)
+					}
+				}
+				var want int
+				switch op {
+				case 0:
+					want = av & bv
+				case 1:
+					want = av | bv
+				case 2:
+					want = av ^ bv
+				case 3:
+					want = (av + bv) & (1<<w - 1)
+				}
+				if got != want {
+					t.Fatalf("alu(%d, %d, op=%d) = %d, want %d", av, bv, op, got, want)
+				}
+				// Carry-out check for ADD.
+				if op == 3 {
+					cout := vals[c.Outputs()[w]]
+					if cout != (av+bv >= 1<<w) {
+						t.Fatalf("cout(%d+%d) = %v", av, bv, cout)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDatapathCircuitsValid(t *testing.T) {
+	for _, c := range []*netlist.Circuit{BarrelShifter(16), ALUSlice(8)} {
+		if c.NumGates() == 0 || c.Depth() == 0 {
+			t.Errorf("%s: degenerate", c.Name())
+		}
+	}
+}

@@ -1,0 +1,498 @@
+// Package gen produces deterministic, seeded synthetic benchmark circuits
+// spanning the structural classes the 1987 evaluation needed: fanout-free
+// trees (where the dynamic program is exact), reconvergent DAGs (where the
+// problem is NP-complete), arithmetic blocks, and random-pattern-resistant
+// cones. Every generator is a pure function of its parameters, so every
+// experiment in this repository is reproducible bit-for-bit.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// C17 returns the ISCAS'85 c17 benchmark, the smallest classic circuit
+// with reconvergent fanout.
+func C17() *netlist.Circuit {
+	b := netlist.NewBuilder("c17")
+	g1 := b.Input("1")
+	g2 := b.Input("2")
+	g3 := b.Input("3")
+	g6 := b.Input("6")
+	g7 := b.Input("7")
+	g10 := b.NandGate("10", g1, g3)
+	g11 := b.NandGate("11", g3, g6)
+	g16 := b.NandGate("16", g2, g11)
+	g19 := b.NandGate("19", g11, g7)
+	g22 := b.NandGate("22", g10, g16)
+	g23 := b.NandGate("23", g16, g19)
+	b.MarkOutput(g22)
+	b.MarkOutput(g23)
+	return b.MustBuild()
+}
+
+// TreeOptions parameterises RandomTree.
+type TreeOptions struct {
+	MaxFanin    int     // maximum gate fanin; default 4
+	InverterPct float64 // probability of inserting a NOT above a gate; default 0.15
+	NandNorPct  float64 // probability a gate is NAND/NOR instead of AND/OR; default 0.3
+}
+
+func (o *TreeOptions) defaults() {
+	if o.MaxFanin <= 1 {
+		o.MaxFanin = 4
+	}
+	if o.InverterPct == 0 {
+		o.InverterPct = 0.15
+	}
+	if o.NandNorPct == 0 {
+		o.NandNorPct = 0.3
+	}
+}
+
+// RandomTree generates a random fanout-free circuit over unate gates
+// (AND/OR/NAND/NOR/NOT) with the given number of primary inputs and a
+// single primary output. The structure is built bottom-up by repeatedly
+// grouping 2..MaxFanin subtrees under a random gate.
+func RandomTree(seed int64, leaves int, opts TreeOptions) *netlist.Circuit {
+	if leaves < 2 {
+		panic("gen: RandomTree needs at least 2 leaves")
+	}
+	opts.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	b := netlist.NewBuilder(fmt.Sprintf("tree_s%d_n%d", seed, leaves))
+	// Live subtree roots awaiting grouping.
+	roots := make([]int, leaves)
+	for i := range roots {
+		roots[i] = b.Input(fmt.Sprintf("i%d", i))
+	}
+	for len(roots) > 1 {
+		k := 2 + rng.Intn(opts.MaxFanin-1)
+		if k > len(roots) {
+			k = len(roots)
+		}
+		// Pick k random distinct roots.
+		rng.Shuffle(len(roots), func(i, j int) { roots[i], roots[j] = roots[j], roots[i] })
+		fanin := append([]int(nil), roots[:k]...)
+		roots = roots[k:]
+		var t netlist.GateType
+		if rng.Float64() < opts.NandNorPct {
+			if rng.Intn(2) == 0 {
+				t = netlist.Nand
+			} else {
+				t = netlist.Nor
+			}
+		} else {
+			if rng.Intn(2) == 0 {
+				t = netlist.And
+			} else {
+				t = netlist.Or
+			}
+		}
+		g := b.Add(t, "", fanin...)
+		if rng.Float64() < opts.InverterPct {
+			g = b.NotGate("", g)
+		}
+		roots = append(roots, g)
+	}
+	b.MarkOutput(roots[0])
+	return b.MustBuild()
+}
+
+// AndCone returns a single wide AND cone: a balanced tree of 2-input AND
+// gates over `width` inputs. Its output stuck-at-0 fault has detection
+// probability 2^-width under uniform random patterns, making it the
+// canonical random-pattern-resistant structure.
+func AndCone(width int) *netlist.Circuit {
+	if width < 2 {
+		panic("gen: AndCone needs width >= 2")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("andcone%d", width))
+	level := make([]int, width)
+	for i := range level {
+		level[i] = b.Input(fmt.Sprintf("i%d", i))
+	}
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.AndGate("", level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	b.MarkOutput(level[0])
+	return b.MustBuild()
+}
+
+// ParityTree returns a balanced XOR tree over `width` inputs. Every fault
+// in an XOR tree is trivially observable (XOR propagates unconditionally),
+// making it the easy extreme for random-pattern testing.
+func ParityTree(width int) *netlist.Circuit {
+	if width < 2 {
+		panic("gen: ParityTree needs width >= 2")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("parity%d", width))
+	level := make([]int, width)
+	for i := range level {
+		level[i] = b.Input(fmt.Sprintf("i%d", i))
+	}
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.XorGate("", level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	b.MarkOutput(level[0])
+	return b.MustBuild()
+}
+
+// DAGOptions parameterises RandomDAG.
+type DAGOptions struct {
+	MaxFanin int     // default 3
+	XorPct   float64 // probability of XOR/XNOR gates; default 0.1
+	Locality int     // candidate window for fanin selection; default 0 = whole prefix
+}
+
+func (o *DAGOptions) defaults() {
+	if o.MaxFanin <= 1 {
+		o.MaxFanin = 3
+	}
+	if o.XorPct == 0 {
+		o.XorPct = 0.1
+	}
+}
+
+// RandomDAG generates a random reconvergent combinational circuit with the
+// given number of primary inputs and internal gates. Fanins are drawn from
+// earlier gates, so fanout and reconvergence arise naturally. Signals left
+// with no consumers become primary outputs.
+func RandomDAG(seed int64, inputs, gates int, opts DAGOptions) *netlist.Circuit {
+	if inputs < 2 || gates < 1 {
+		panic("gen: RandomDAG needs >=2 inputs and >=1 gate")
+	}
+	opts.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	b := netlist.NewBuilder(fmt.Sprintf("dag_s%d_i%d_g%d", seed, inputs, gates))
+	var ids []int
+	for i := 0; i < inputs; i++ {
+		ids = append(ids, b.Input(fmt.Sprintf("i%d", i)))
+	}
+	hasConsumer := make(map[int]bool)
+	for g := 0; g < gates; g++ {
+		k := 2 + rng.Intn(opts.MaxFanin-1)
+		lo := 0
+		if opts.Locality > 0 && len(ids) > opts.Locality {
+			lo = len(ids) - opts.Locality
+		}
+		window := ids[lo:]
+		if k > len(window) {
+			k = len(window)
+		}
+		// Distinct fanins from the window.
+		perm := rng.Perm(len(window))
+		fanin := make([]int, k)
+		for i := 0; i < k; i++ {
+			fanin[i] = window[perm[i]]
+		}
+		var t netlist.GateType
+		switch {
+		case k >= 2 && rng.Float64() < opts.XorPct:
+			if rng.Intn(2) == 0 {
+				t = netlist.Xor
+			} else {
+				t = netlist.Xnor
+			}
+			fanin = fanin[:2]
+		default:
+			t = [...]netlist.GateType{netlist.And, netlist.Or, netlist.Nand, netlist.Nor}[rng.Intn(4)]
+		}
+		id := b.Add(t, fmt.Sprintf("g%d", g), fanin...)
+		for _, f := range fanin {
+			hasConsumer[f] = true
+		}
+		ids = append(ids, id)
+	}
+	nOut := 0
+	for _, id := range ids {
+		if !hasConsumer[id] && b.Gate(id).Type != netlist.Input {
+			b.MarkOutput(id)
+			nOut++
+		}
+	}
+	if nOut == 0 {
+		b.MarkOutput(ids[len(ids)-1])
+	}
+	return b.MustBuild()
+}
+
+// RippleCarryAdder returns a width-bit ripple-carry adder over inputs
+// a0..a(w-1), b0..b(w-1), cin, with sum and carry-out outputs. Built from
+// XOR/AND/OR full adders; heavy reconvergent fanout along the carry chain.
+func RippleCarryAdder(width int) *netlist.Circuit {
+	if width < 1 {
+		panic("gen: RippleCarryAdder needs width >= 1")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("rca%d", width))
+	a := make([]int, width)
+	x := make([]int, width)
+	for i := 0; i < width; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < width; i++ {
+		x[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.Input("cin")
+	for i := 0; i < width; i++ {
+		axb := b.XorGate(fmt.Sprintf("p%d", i), a[i], x[i])
+		sum := b.XorGate(fmt.Sprintf("s%d", i), axb, carry)
+		t1 := b.AndGate("", a[i], x[i])
+		t2 := b.AndGate("", axb, carry)
+		carry = b.OrGate(fmt.Sprintf("c%d", i+1), t1, t2)
+		b.MarkOutput(sum)
+	}
+	b.MarkOutput(carry)
+	return b.MustBuild()
+}
+
+// Comparator returns a width-bit equality comparator: out = (a == b),
+// built as XNOR bits reduced by a wide AND tree. The AND reduction makes
+// the output stuck-at faults random-pattern resistant (P(eq) = 2^-width).
+func Comparator(width int) *netlist.Circuit {
+	if width < 1 {
+		panic("gen: Comparator needs width >= 1")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("cmp%d", width))
+	bits := make([]int, width)
+	for i := 0; i < width; i++ {
+		ai := b.Input(fmt.Sprintf("a%d", i))
+		bi := b.Input(fmt.Sprintf("b%d", i))
+		bits[i] = b.XnorGate(fmt.Sprintf("e%d", i), ai, bi)
+	}
+	for len(bits) > 1 {
+		var next []int
+		for i := 0; i+1 < len(bits); i += 2 {
+			next = append(next, b.AndGate("", bits[i], bits[i+1]))
+		}
+		if len(bits)%2 == 1 {
+			next = append(next, bits[len(bits)-1])
+		}
+		bits = next
+	}
+	b.MarkOutput(bits[0])
+	return b.MustBuild()
+}
+
+// Decoder returns an n-to-2^n decoder: each output is the AND of the n
+// (possibly inverted) select inputs. Each output is a wide AND cone, and
+// the inverters fan the inputs out to every cone, so the circuit is both
+// reconvergent and random-pattern resistant as n grows.
+func Decoder(selBits int) *netlist.Circuit {
+	if selBits < 1 || selBits > 16 {
+		panic("gen: Decoder needs 1 <= selBits <= 16")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("dec%d", selBits))
+	sel := make([]int, selBits)
+	inv := make([]int, selBits)
+	for i := 0; i < selBits; i++ {
+		sel[i] = b.Input(fmt.Sprintf("s%d", i))
+		inv[i] = b.NotGate(fmt.Sprintf("ns%d", i), sel[i])
+	}
+	for v := 0; v < 1<<selBits; v++ {
+		fanin := make([]int, selBits)
+		for i := 0; i < selBits; i++ {
+			if v>>i&1 == 1 {
+				fanin[i] = sel[i]
+			} else {
+				fanin[i] = inv[i]
+			}
+		}
+		var out int
+		if selBits == 1 {
+			out = b.BufGate(fmt.Sprintf("o%d", v), fanin[0])
+		} else {
+			out = b.AndGate(fmt.Sprintf("o%d", v), fanin...)
+		}
+		b.MarkOutput(out)
+	}
+	return b.MustBuild()
+}
+
+// RPResistant embeds `cones` wide AND cones (width `coneWidth`) into a
+// random DAG substrate and ORs cone outputs with random logic, emulating
+// the random-pattern-resistant benchmark circuits of the era: the bulk of
+// the logic is easily testable but the cone faults need astronomically
+// many random patterns without test points.
+func RPResistant(seed int64, cones, coneWidth, glueGates int) *netlist.Circuit {
+	if cones < 1 || coneWidth < 2 {
+		panic("gen: RPResistant needs cones >= 1 and coneWidth >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := netlist.NewBuilder(fmt.Sprintf("rpr_s%d_c%dx%d", seed, cones, coneWidth))
+	var pool []int
+	nIn := cones*coneWidth/2 + coneWidth
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, b.Input(fmt.Sprintf("i%d", i)))
+	}
+	coneOuts := make([]int, cones)
+	for ci := 0; ci < cones; ci++ {
+		// Each cone draws coneWidth distinct signals from the pool.
+		perm := rng.Perm(len(pool))
+		level := make([]int, coneWidth)
+		for i := 0; i < coneWidth; i++ {
+			level[i] = pool[perm[i]]
+		}
+		for len(level) > 1 {
+			var next []int
+			for i := 0; i+1 < len(level); i += 2 {
+				next = append(next, b.AndGate("", level[i], level[i+1]))
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+		coneOuts[ci] = level[0]
+	}
+	// Glue logic: random 2-input gates over the pool.
+	glue := append([]int(nil), pool...)
+	for g := 0; g < glueGates; g++ {
+		a := glue[rng.Intn(len(glue))]
+		c := glue[rng.Intn(len(glue))]
+		if a == c {
+			continue
+		}
+		t := [...]netlist.GateType{netlist.And, netlist.Or, netlist.Nand, netlist.Nor, netlist.Xor}[rng.Intn(5)]
+		glue = append(glue, b.Add(t, "", a, c))
+	}
+	// Each cone output ORed with a random glue signal becomes a PO: the OR
+	// masks the cone unless the glue side is 0, compounding resistance.
+	used := make(map[int]bool)
+	for ci, co := range coneOuts {
+		g := glue[len(glue)-1-ci%len(glue)]
+		if g == co {
+			g = glue[0]
+		}
+		used[g] = true
+		b.MarkOutput(b.OrGate(fmt.Sprintf("po_cone%d", ci), co, g))
+	}
+	// A couple of glue-only outputs keep the easy logic observable.
+	b.MarkOutput(b.BufGate("po_glue0", glue[len(glue)-1]))
+	if len(glue) > 1 {
+		b.MarkOutput(b.BufGate("po_glue1", glue[len(glue)-2]))
+	}
+	// Fold every signal that ended up with no consumer (possible for both
+	// pool inputs and glue gates under random draws) into one parity
+	// output, so the circuit has no structurally untestable dangling
+	// logic; XOR keeps those faults easy, preserving the cones as the
+	// only resistant structures.
+	consumed := make(map[int]bool)
+	for id := 0; id < b.NumGates(); id++ {
+		for _, f := range b.Gate(id).Fanin {
+			consumed[f] = true
+		}
+	}
+	var dangling []int
+	for id := 0; id < b.NumGates(); id++ {
+		if !consumed[id] && !b.IsMarkedOutput(id) {
+			dangling = append(dangling, id)
+		}
+	}
+	if len(dangling) == 1 {
+		b.MarkOutput(b.BufGate("po_sweep", dangling[0]))
+	} else if len(dangling) > 1 {
+		cur := dangling[0]
+		for _, d := range dangling[1:] {
+			cur = b.XorGate("", cur, d)
+		}
+		b.MarkOutput(b.BufGate("po_sweep", cur))
+	}
+	return b.MustBuild()
+}
+
+// Multiplier returns a width x width array multiplier (AND partial
+// products reduced by ripple full adders). Gate count grows as width², so
+// it serves as the scaling workload.
+func Multiplier(width int) *netlist.Circuit {
+	if width < 2 {
+		panic("gen: Multiplier needs width >= 2")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("mul%d", width))
+	a := make([]int, width)
+	x := make([]int, width)
+	for i := 0; i < width; i++ {
+		a[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < width; i++ {
+		x[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	// Partial products pp[i][j] = a[j] AND b[i].
+	pp := make([][]int, width)
+	for i := range pp {
+		pp[i] = make([]int, width)
+		for j := range pp[i] {
+			pp[i][j] = b.AndGate(fmt.Sprintf("pp%d_%d", i, j), a[j], x[i])
+		}
+	}
+	// Row-by-row carry-save style reduction using full adders.
+	fullAdder := func(p, q, cin int) (sum, cout int) {
+		pxq := b.XorGate("", p, q)
+		sum = b.XorGate("", pxq, cin)
+		t1 := b.AndGate("", p, q)
+		t2 := b.AndGate("", pxq, cin)
+		cout = b.OrGate("", t1, t2)
+		return
+	}
+	halfAdder := func(p, q int) (sum, cout int) {
+		return b.XorGate("", p, q), b.AndGate("", p, q)
+	}
+	// row holds the running sum bits of weight i..i+width-1 after adding
+	// partial product rows 0..r.
+	row := append([]int(nil), pp[0]...)
+	outs := []int{row[0]} // weight 0 settled
+	row = row[1:]
+	for r := 1; r < width; r++ {
+		next := make([]int, 0, width)
+		var carry int
+		hasCarry := false
+		for j := 0; j < width; j++ {
+			var cur int
+			if j < len(row) {
+				cur = row[j]
+			}
+			switch {
+			case j < len(row) && hasCarry:
+				s, c := fullAdder(cur, pp[r][j], carry)
+				next = append(next, s)
+				carry, hasCarry = c, true
+			case j < len(row):
+				s, c := halfAdder(cur, pp[r][j])
+				next = append(next, s)
+				carry, hasCarry = c, true
+			case hasCarry:
+				s, c := halfAdder(pp[r][j], carry)
+				next = append(next, s)
+				carry, hasCarry = c, true
+			default:
+				next = append(next, pp[r][j])
+			}
+		}
+		if hasCarry {
+			next = append(next, carry)
+		}
+		outs = append(outs, next[0])
+		row = next[1:]
+	}
+	outs = append(outs, row...)
+	for i, o := range outs {
+		b.MarkOutput(b.BufGate(fmt.Sprintf("p%d", i), o))
+	}
+	return b.MustBuild()
+}

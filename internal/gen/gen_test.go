@@ -1,0 +1,271 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func evalCircuit(c *netlist.Circuit, assign func(pi int, idx int) bool) []bool {
+	vals := make([]bool, c.NumGates())
+	for i, in := range c.Inputs() {
+		vals[in] = assign(in, i)
+	}
+	buf := make([]bool, 0, 8)
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Type == netlist.Input {
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range g.Fanin {
+			buf = append(buf, vals[f])
+		}
+		vals[id] = g.Type.Eval(buf)
+	}
+	return vals
+}
+
+func TestC17Structure(t *testing.T) {
+	c := C17()
+	if c.NumGates() != 11 || c.NumInputs() != 5 || c.NumOutputs() != 2 {
+		t.Errorf("c17 = %v", c)
+	}
+	if !c.HasReconvergentFanout() {
+		t.Error("c17 must be reconvergent")
+	}
+}
+
+func TestRandomTreeIsFanoutFree(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 50, 200} {
+		c := RandomTree(42, n, TreeOptions{})
+		if !c.IsFanoutFree() {
+			t.Errorf("RandomTree(%d) not fanout-free", n)
+		}
+		if c.NumInputs() != n {
+			t.Errorf("RandomTree(%d) has %d inputs", n, c.NumInputs())
+		}
+		if c.NumOutputs() != 1 {
+			t.Errorf("RandomTree(%d) has %d outputs", n, c.NumOutputs())
+		}
+		for id := 0; id < c.NumGates(); id++ {
+			if tp := c.Type(id); tp == netlist.Xor || tp == netlist.Xnor {
+				t.Errorf("RandomTree produced binate gate %v", tp)
+			}
+		}
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	a := RandomTree(7, 30, TreeOptions{})
+	b := RandomTree(7, 30, TreeOptions{})
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("same seed produced different circuits")
+	}
+	for id := 0; id < a.NumGates(); id++ {
+		if a.Type(id) != b.Type(id) || a.GateName(id) != b.GateName(id) {
+			t.Fatalf("gate %d differs between identically-seeded trees", id)
+		}
+	}
+	c := RandomTree(8, 30, TreeOptions{})
+	if c.NumGates() == a.NumGates() {
+		same := true
+		for id := 0; id < a.NumGates(); id++ {
+			if a.Type(id) != c.Type(id) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical circuits (suspicious)")
+		}
+	}
+}
+
+func TestAndConeFunction(t *testing.T) {
+	c := AndCone(8)
+	if c.NumInputs() != 8 || c.NumOutputs() != 1 {
+		t.Fatalf("cone = %v", c)
+	}
+	if !c.IsFanoutFree() {
+		t.Error("AndCone must be fanout-free")
+	}
+	out := c.Outputs()[0]
+	// All ones -> 1.
+	vals := evalCircuit(c, func(int, int) bool { return true })
+	if !vals[out] {
+		t.Error("AND cone of all ones must be 1")
+	}
+	// Any zero -> 0.
+	vals = evalCircuit(c, func(_, idx int) bool { return idx != 3 })
+	if vals[out] {
+		t.Error("AND cone with a zero must be 0")
+	}
+}
+
+func TestParityTreeFunction(t *testing.T) {
+	c := ParityTree(7)
+	out := c.Outputs()[0]
+	for v := 0; v < 128; v++ {
+		vals := evalCircuit(c, func(_, idx int) bool { return v>>idx&1 == 1 })
+		want := false
+		for i := 0; i < 7; i++ {
+			want = want != (v>>i&1 == 1)
+		}
+		if vals[out] != want {
+			t.Fatalf("parity(%07b) = %v, want %v", v, vals[out], want)
+		}
+	}
+}
+
+func TestRandomDAGProperties(t *testing.T) {
+	c := RandomDAG(99, 16, 200, DAGOptions{})
+	if c.NumInputs() != 16 {
+		t.Errorf("inputs = %d", c.NumInputs())
+	}
+	if c.NumOutputs() == 0 {
+		t.Error("no outputs")
+	}
+	if c.NumGates() != 16+200 {
+		t.Errorf("gates = %d, want 216", c.NumGates())
+	}
+	// Determinism.
+	c2 := RandomDAG(99, 16, 200, DAGOptions{})
+	if c2.NumGates() != c.NumGates() || c2.NumOutputs() != c.NumOutputs() {
+		t.Error("same seed produced different DAGs")
+	}
+}
+
+func TestRippleCarryAdderFunction(t *testing.T) {
+	const w = 4
+	c := RippleCarryAdder(w)
+	if c.NumInputs() != 2*w+1 {
+		t.Fatalf("inputs = %d", c.NumInputs())
+	}
+	if c.NumOutputs() != w+1 {
+		t.Fatalf("outputs = %d", c.NumOutputs())
+	}
+	for av := 0; av < 1<<w; av++ {
+		for bv := 0; bv < 1<<w; bv++ {
+			for cin := 0; cin < 2; cin++ {
+				vals := evalCircuit(c, func(pi, idx int) bool {
+					switch {
+					case idx < w:
+						return av>>idx&1 == 1
+					case idx < 2*w:
+						return bv>>(idx-w)&1 == 1
+					default:
+						return cin == 1
+					}
+				})
+				want := av + bv + cin
+				got := 0
+				for i, o := range c.Outputs() {
+					if vals[o] {
+						got |= 1 << i
+					}
+				}
+				if got != want {
+					t.Fatalf("%d+%d+%d = %d, adder says %d", av, bv, cin, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestComparatorFunction(t *testing.T) {
+	const w = 4
+	c := Comparator(w)
+	out := c.Outputs()[0]
+	for av := 0; av < 1<<w; av++ {
+		for bv := 0; bv < 1<<w; bv++ {
+			vals := evalCircuit(c, func(pi, idx int) bool {
+				// Inputs interleave a0,b0,a1,b1,...
+				bit := idx / 2
+				if idx%2 == 0 {
+					return av>>bit&1 == 1
+				}
+				return bv>>bit&1 == 1
+			})
+			if vals[out] != (av == bv) {
+				t.Fatalf("cmp(%d,%d) = %v", av, bv, vals[out])
+			}
+		}
+	}
+}
+
+func TestDecoderFunction(t *testing.T) {
+	const n = 3
+	c := Decoder(n)
+	if c.NumOutputs() != 1<<n {
+		t.Fatalf("outputs = %d", c.NumOutputs())
+	}
+	for v := 0; v < 1<<n; v++ {
+		vals := evalCircuit(c, func(_, idx int) bool { return v>>idx&1 == 1 })
+		for o, out := range c.Outputs() {
+			if vals[out] != (o == v) {
+				t.Fatalf("decoder sel=%d output %d = %v", v, o, vals[out])
+			}
+		}
+	}
+	// The decoder has heavy fanout (every select line feeds all cones) but
+	// the branches never reconverge: each AND cone reads each select bit
+	// exactly once, directly or inverted, and cones go straight to POs.
+	if c.IsFanoutFree() {
+		t.Error("decoder must have fanout")
+	}
+	if c.HasReconvergentFanout() {
+		t.Error("decoder cones never merge, so it must not be reconvergent")
+	}
+}
+
+func TestRPResistantStructure(t *testing.T) {
+	c := RPResistant(5, 3, 12, 60)
+	if c.NumOutputs() < 3 {
+		t.Errorf("outputs = %d, want >= 3 (one per cone)", c.NumOutputs())
+	}
+	if c.NumGates() < 3*11 {
+		t.Errorf("gates = %d, too few for 3 cones of width 12", c.NumGates())
+	}
+	// Determinism.
+	c2 := RPResistant(5, 3, 12, 60)
+	if c2.NumGates() != c.NumGates() {
+		t.Error("same seed produced different circuits")
+	}
+}
+
+func TestMultiplierFunction(t *testing.T) {
+	const w = 3
+	c := Multiplier(w)
+	if c.NumOutputs() != 2*w {
+		t.Fatalf("outputs = %d, want %d", c.NumOutputs(), 2*w)
+	}
+	for av := 0; av < 1<<w; av++ {
+		for bv := 0; bv < 1<<w; bv++ {
+			vals := evalCircuit(c, func(pi, idx int) bool {
+				if idx < w {
+					return av>>idx&1 == 1
+				}
+				return bv>>(idx-w)&1 == 1
+			})
+			got := 0
+			for i, o := range c.Outputs() {
+				if vals[o] {
+					got |= 1 << i
+				}
+			}
+			if got != av*bv {
+				t.Fatalf("%d*%d = %d, multiplier says %d", av, bv, av*bv, got)
+			}
+		}
+	}
+}
+
+func TestMultiplierScaling(t *testing.T) {
+	g4 := Multiplier(4).NumGates()
+	g8 := Multiplier(8).NumGates()
+	// Quadratic growth: 8-bit should be roughly 4x the 4-bit gate count.
+	if g8 < 3*g4 {
+		t.Errorf("multiplier scaling suspicious: %d gates at w=4, %d at w=8", g4, g8)
+	}
+}

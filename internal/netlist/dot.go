@@ -1,0 +1,35 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the circuit as a Graphviz digraph for visual
+// inspection. Primary inputs are drawn as triangles, primary outputs with
+// a double border.
+func (c *Circuit) WriteDot(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", c.name)
+	for id, g := range c.gates {
+		shape := "box"
+		if g.Type == Input {
+			shape = "triangle"
+		}
+		peripheries := 1
+		if c.isOutput[id] {
+			peripheries = 2
+		}
+		fmt.Fprintf(&b, "  g%d [label=%q shape=%s peripheries=%d];\n",
+			id, fmt.Sprintf("%s\\n%s", g.Name, g.Type), shape, peripheries)
+	}
+	for id, g := range c.gates {
+		for _, f := range g.Fanin {
+			fmt.Fprintf(&b, "  g%d -> g%d;\n", f, id)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

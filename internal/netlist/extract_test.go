@@ -1,0 +1,104 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractConeC17(t *testing.T) {
+	c := buildC17(t)
+	g22, _ := c.GateByName("22")
+	cone, idMap, err := c.ExtractCone(g22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cone of 22: inputs 1,2,3,6 and gates 10,11,16,22 = 8 gates.
+	if cone.NumGates() != 8 {
+		t.Errorf("cone gates = %d, want 8", cone.NumGates())
+	}
+	if cone.NumInputs() != 4 {
+		t.Errorf("cone inputs = %d, want 4", cone.NumInputs())
+	}
+	if cone.NumOutputs() != 1 {
+		t.Errorf("cone outputs = %d, want 1", cone.NumOutputs())
+	}
+	// Names survive.
+	if _, ok := cone.GateByName("16"); !ok {
+		t.Error("cone lost gate 16")
+	}
+	// Functional agreement on the shared support for all assignments.
+	for v := 0; v < 32; v++ {
+		ins := make(map[int]bool)
+		for i, in := range c.Inputs() {
+			ins[in] = v>>uint(i)&1 == 1
+		}
+		origVals := evalAll(c, ins)
+		coneIns := make(map[int]bool)
+		for origID, coneID := range idMap {
+			if c.Type(origID) == Input {
+				coneIns[coneID] = ins[origID]
+			}
+		}
+		coneVals := evalAll(cone, coneIns)
+		if coneVals[cone.Outputs()[0]] != origVals[g22] {
+			t.Fatalf("vector %d: cone output disagrees with original", v)
+		}
+	}
+}
+
+func TestExtractConeMultipleRoots(t *testing.T) {
+	c := buildC17(t)
+	g22, _ := c.GateByName("22")
+	g23, _ := c.GateByName("23")
+	cone, _, err := c.ExtractCone(g22, g23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union of both cones is the whole circuit.
+	if cone.NumGates() != c.NumGates() {
+		t.Errorf("combined cone = %d gates, want %d", cone.NumGates(), c.NumGates())
+	}
+	if cone.NumOutputs() != 2 {
+		t.Errorf("outputs = %d, want 2", cone.NumOutputs())
+	}
+}
+
+func TestExtractConeErrors(t *testing.T) {
+	c := buildC17(t)
+	if _, _, err := c.ExtractCone(); err == nil {
+		t.Error("expected error for no signals")
+	}
+	if _, _, err := c.ExtractCone(999); err == nil {
+		t.Error("expected error for out-of-range signal")
+	}
+}
+
+// TestExtractConeQuickProperty: extracting the cone of any signal yields
+// a valid circuit whose output equals the original signal on random
+// vectors.
+func TestExtractConeQuickProperty(t *testing.T) {
+	c := buildC17(t)
+	f := func(sigRaw uint8, vec uint8) bool {
+		sig := int(sigRaw) % c.NumGates()
+		cone, idMap, err := c.ExtractCone(sig)
+		if err != nil {
+			return false
+		}
+		ins := make(map[int]bool)
+		for i, in := range c.Inputs() {
+			ins[in] = vec>>uint(i)&1 == 1
+		}
+		origVals := evalAll(c, ins)
+		coneIns := make(map[int]bool)
+		for origID, coneID := range idMap {
+			if c.Type(origID) == Input {
+				coneIns[coneID] = ins[origID]
+			}
+		}
+		coneVals := evalAll(cone, coneIns)
+		return coneVals[cone.Outputs()[0]] == origVals[sig]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

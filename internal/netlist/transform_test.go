@@ -1,0 +1,246 @@
+package netlist
+
+import "testing"
+
+// evalAll evaluates the circuit on the given input assignment and returns
+// all signal values.
+func evalAll(c *Circuit, inputs map[int]bool) []bool {
+	vals := make([]bool, c.NumGates())
+	buf := make([]bool, 0, 8)
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Type == Input {
+			vals[id] = inputs[id]
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range g.Fanin {
+			buf = append(buf, vals[f])
+		}
+		vals[id] = g.Type.Eval(buf)
+	}
+	return vals
+}
+
+func TestInsertObservationPoint(t *testing.T) {
+	c := buildC17(t)
+	g11, _ := c.GateByName("11")
+	mod, err := c.InsertTestPoints([]TestPoint{{Signal: g11, Kind: Observe}})
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if got, want := mod.NumOutputs(), c.NumOutputs()+1; got != want {
+		t.Errorf("outputs = %d, want %d", got, want)
+	}
+	if got, want := mod.NumInputs(), c.NumInputs(); got != want {
+		t.Errorf("inputs = %d, want %d", got, want)
+	}
+	// Functional equivalence on original outputs for all 32 input vectors.
+	for v := 0; v < 32; v++ {
+		ins := make(map[int]bool)
+		for i, in := range c.Inputs() {
+			ins[in] = v>>i&1 == 1
+		}
+		origVals := evalAll(c, ins)
+		modIns := make(map[int]bool)
+		for i := range c.Inputs() {
+			modIns[mod.Inputs()[i]] = v>>i&1 == 1
+		}
+		modVals := evalAll(mod, modIns)
+		for i, o := range c.Outputs() {
+			if origVals[o] != modVals[mod.Outputs()[i]] {
+				t.Fatalf("vector %d: output %d differs after observe insertion", v, i)
+			}
+		}
+		// The observation output must equal the tapped signal.
+		obs := mod.Outputs()[len(mod.Outputs())-1]
+		if modVals[obs] != origVals[g11] {
+			t.Fatalf("vector %d: observation point value mismatch", v)
+		}
+	}
+}
+
+func TestInsertControlPoints(t *testing.T) {
+	c := buildC17(t)
+	g11, _ := c.GateByName("11")
+	for _, kind := range []TestPointKind{Control0, Control1} {
+		mod, err := c.InsertTestPoints([]TestPoint{{Signal: g11, Kind: kind}})
+		if err != nil {
+			t.Fatalf("insert %v: %v", kind, err)
+		}
+		if got, want := mod.NumInputs(), c.NumInputs()+1; got != want {
+			t.Errorf("%v: inputs = %d, want %d", kind, got, want)
+		}
+		// With the test input at its passive value the circuit must be
+		// functionally identical. Passive value: 1 for Control0 (AND),
+		// 0 for Control1 (OR).
+		passive := kind == Control0
+		tpIn := mod.Inputs()[len(mod.Inputs())-1]
+		for v := 0; v < 32; v++ {
+			ins := make(map[int]bool)
+			for i, in := range c.Inputs() {
+				ins[in] = v>>i&1 == 1
+			}
+			origVals := evalAll(c, ins)
+			modIns := make(map[int]bool)
+			for i := range c.Inputs() {
+				modIns[mod.Inputs()[i]] = v>>i&1 == 1
+			}
+			modIns[tpIn] = passive
+			modVals := evalAll(mod, modIns)
+			for i, o := range c.Outputs() {
+				if origVals[o] != modVals[mod.Outputs()[i]] {
+					t.Fatalf("%v vector %d: output differs with passive test input", kind, v)
+				}
+			}
+			// With the active value, the gated line is forced.
+			modIns[tpIn] = !passive
+			modVals = evalAll(mod, modIns)
+			gated, ok := mod.GateByName(c.GateName(g11) + "_cp0")
+			if !ok {
+				t.Fatal("gated signal not found")
+			}
+			forced := kind == Control1
+			if modVals[gated] != forced {
+				t.Fatalf("%v vector %d: gated line = %v, want forced %v", kind, v, modVals[gated], forced)
+			}
+		}
+	}
+}
+
+func TestInsertFullCut(t *testing.T) {
+	c := buildC17(t)
+	g11, _ := c.GateByName("11")
+	mod, err := c.InsertTestPoints([]TestPoint{{Signal: g11, Kind: FullCut}})
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if got, want := mod.NumInputs(), c.NumInputs()+1; got != want {
+		t.Errorf("inputs = %d, want %d", got, want)
+	}
+	if got, want := mod.NumOutputs(), c.NumOutputs()+1; got != want {
+		t.Errorf("outputs = %d, want %d", got, want)
+	}
+	// With the cut input driven to the value the cut signal computes, the
+	// circuit is functionally identical.
+	tpIn := mod.Inputs()[len(mod.Inputs())-1]
+	for v := 0; v < 32; v++ {
+		ins := make(map[int]bool)
+		for i, in := range c.Inputs() {
+			ins[in] = v>>i&1 == 1
+		}
+		origVals := evalAll(c, ins)
+		modIns := make(map[int]bool)
+		for i := range c.Inputs() {
+			modIns[mod.Inputs()[i]] = v>>i&1 == 1
+		}
+		modIns[tpIn] = origVals[g11]
+		modVals := evalAll(mod, modIns)
+		for i, o := range c.Outputs() {
+			if origVals[o] != modVals[mod.Outputs()[i]] {
+				t.Fatalf("vector %d: output differs with consistent cut input", v)
+			}
+		}
+	}
+}
+
+func TestInsertMultipleControlPointsSameSignal(t *testing.T) {
+	// Two control points on the same signal must compose, not dangle.
+	b := NewBuilder("chain")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.AndGate("g", a, x)
+	o := b.BufGate("o", g)
+	b.MarkOutput(o)
+	c := b.MustBuild()
+	gid, _ := c.GateByName("g")
+	mod, err := c.InsertTestPoints([]TestPoint{
+		{Signal: gid, Kind: Control0},
+		{Signal: gid, Kind: Control1},
+	})
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	// Inputs: a, b, tp0, tp1. With tp0 passive(1) and tp1 active(1) the
+	// output is forced to 1 regardless of a,b. With tp0 active(0) and tp1
+	// passive(0) the output is forced to 0.
+	if mod.NumInputs() != 4 {
+		t.Fatalf("inputs = %d, want 4", mod.NumInputs())
+	}
+	tp0 := mod.Inputs()[2]
+	tp1 := mod.Inputs()[3]
+	for v := 0; v < 4; v++ {
+		ins := map[int]bool{
+			mod.Inputs()[0]: v&1 == 1,
+			mod.Inputs()[1]: v&2 == 2,
+			tp0:             true, // passive for Control0
+			tp1:             true, // active for Control1
+		}
+		vals := evalAll(mod, ins)
+		if !vals[mod.Outputs()[0]] {
+			t.Errorf("vector %d: Control1 active should force output 1", v)
+		}
+		ins[tp0] = false // active for Control0
+		ins[tp1] = false // passive for Control1
+		vals = evalAll(mod, ins)
+		if vals[mod.Outputs()[0]] {
+			t.Errorf("vector %d: Control0 active should force output 0", v)
+		}
+	}
+}
+
+func TestInsertTestPointBadSignal(t *testing.T) {
+	c := buildC17(t)
+	if _, err := c.InsertTestPoints([]TestPoint{{Signal: 999, Kind: Observe}}); err == nil {
+		t.Error("expected error for out-of-range signal")
+	}
+}
+
+func TestExpandXor(t *testing.T) {
+	b := NewBuilder("xors")
+	a := b.Input("a")
+	x := b.Input("b")
+	y := b.Input("c")
+	g1 := b.XorGate("g1", a, x, y) // 3-input XOR
+	g2 := b.XnorGate("g2", g1, a)
+	b.MarkOutput(g2)
+	c := b.MustBuild()
+	exp, err := c.ExpandXor()
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	for id := 0; id < exp.NumGates(); id++ {
+		if tp := exp.Type(id); tp == Xor || tp == Xnor {
+			t.Fatalf("expanded circuit still contains %v", tp)
+		}
+	}
+	// Functional equivalence across all 8 input vectors.
+	for v := 0; v < 8; v++ {
+		ins := make(map[int]bool)
+		expIns := make(map[int]bool)
+		for i := range c.Inputs() {
+			bit := v>>i&1 == 1
+			ins[c.Inputs()[i]] = bit
+			expIns[exp.Inputs()[i]] = bit
+		}
+		got := evalAll(exp, expIns)[exp.Outputs()[0]]
+		want := evalAll(c, ins)[c.Outputs()[0]]
+		if got != want {
+			t.Errorf("vector %d: expanded = %v, original = %v", v, got, want)
+		}
+	}
+	// Original names must survive expansion.
+	if _, ok := exp.GateByName("g1"); !ok {
+		t.Error("expanded circuit lost name g1")
+	}
+}
+
+func TestTestPointKindString(t *testing.T) {
+	for k, want := range map[TestPointKind]string{
+		Observe: "observe", Control0: "control0", Control1: "control1", FullCut: "cut",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

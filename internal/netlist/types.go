@@ -1,0 +1,197 @@
+// Package netlist defines the gate-level combinational circuit model used
+// throughout the repository: construction, validation, structural analysis
+// (levelization, fanout-free regions, tree detection) and the netlist
+// rewrites that implement test point insertion.
+//
+// A circuit is a DAG of gates. Every gate drives exactly one signal, so
+// signals are identified by the ID of their driving gate. Primary inputs
+// are modelled as gates of type Input with no fanin. A signal may both
+// feed other gates and be designated a primary output.
+package netlist
+
+import "fmt"
+
+// GateType enumerates the primitive gate functions supported by the model.
+type GateType uint8
+
+// Supported gate types. Input is a primary input pseudo-gate with no fanin.
+const (
+	Input GateType = iota
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	numGateTypes
+)
+
+var gateTypeNames = [numGateTypes]string{
+	Input: "INPUT",
+	Buf:   "BUF",
+	Not:   "NOT",
+	And:   "AND",
+	Nand:  "NAND",
+	Or:    "OR",
+	Nor:   "NOR",
+	Xor:   "XOR",
+	Xnor:  "XNOR",
+}
+
+// String returns the canonical upper-case mnemonic of the gate type.
+func (t GateType) String() string {
+	if int(t) < len(gateTypeNames) {
+		return gateTypeNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// Valid reports whether t is one of the defined gate types.
+func (t GateType) Valid() bool { return t < numGateTypes }
+
+// MinFanin returns the minimum number of fanin signals a gate of type t
+// must have.
+func (t GateType) MinFanin() int {
+	switch t {
+	case Input:
+		return 0
+	case Buf, Not:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MaxFanin returns the maximum number of fanin signals a gate of type t may
+// have, or -1 if unbounded.
+func (t GateType) MaxFanin() int {
+	switch t {
+	case Input:
+		return 0
+	case Buf, Not:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Inverting reports whether the gate complements its underlying monotone
+// function (NOT, NAND, NOR, XNOR).
+func (t GateType) Inverting() bool {
+	switch t {
+	case Not, Nand, Nor, Xnor:
+		return true
+	}
+	return false
+}
+
+// Unate reports whether every input of a gate of type t is unate (the
+// output is a monotone function of each input, possibly after inversion).
+// XOR and XNOR are binate.
+func (t GateType) Unate() bool { return t != Xor && t != Xnor }
+
+// ControllingValue returns the controlling input value of the gate type and
+// whether one exists. An input at the controlling value determines the
+// output regardless of the other inputs (0 for AND/NAND, 1 for OR/NOR).
+func (t GateType) ControllingValue() (v bool, ok bool) {
+	switch t {
+	case And, Nand:
+		return false, true
+	case Or, Nor:
+		return true, true
+	}
+	return false, false
+}
+
+// Eval computes the gate function over the given input values. It panics
+// if the arity is invalid for the type; callers evaluating validated
+// circuits never trip this.
+func (t GateType) Eval(in []bool) bool {
+	switch t {
+	case Input:
+		panic("netlist: Eval on Input gate")
+	case Buf:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And, Nand:
+		v := true
+		for _, x := range in {
+			v = v && x
+		}
+		if t == Nand {
+			return !v
+		}
+		return v
+	case Or, Nor:
+		v := false
+		for _, x := range in {
+			v = v || x
+		}
+		if t == Nor {
+			return !v
+		}
+		return v
+	case Xor, Xnor:
+		v := false
+		for _, x := range in {
+			v = v != x
+		}
+		if t == Xnor {
+			return !v
+		}
+		return v
+	}
+	panic("netlist: Eval on invalid gate type")
+}
+
+// EvalWords computes the gate function bit-parallel over 64-bit packed
+// input words.
+func (t GateType) EvalWords(in []uint64) uint64 {
+	switch t {
+	case Input:
+		panic("netlist: EvalWords on Input gate")
+	case Buf:
+		return in[0]
+	case Not:
+		return ^in[0]
+	case And, Nand:
+		v := ^uint64(0)
+		for _, x := range in {
+			v &= x
+		}
+		if t == Nand {
+			return ^v
+		}
+		return v
+	case Or, Nor:
+		v := uint64(0)
+		for _, x := range in {
+			v |= x
+		}
+		if t == Nor {
+			return ^v
+		}
+		return v
+	case Xor, Xnor:
+		v := uint64(0)
+		for _, x := range in {
+			v ^= x
+		}
+		if t == Xnor {
+			return ^v
+		}
+		return v
+	}
+	panic("netlist: EvalWords on invalid gate type")
+}
+
+// Gate is a single gate instance inside a Circuit. The gate's output
+// signal carries the same ID as the gate itself.
+type Gate struct {
+	Type  GateType
+	Name  string
+	Fanin []int // IDs of driving gates, in pin order
+}

@@ -1,0 +1,292 @@
+// Package npc demonstrates the NP-completeness of budget-constrained test
+// point insertion on circuits with reconvergent fanout — the hardness
+// result the 1987 paper is cited for — by implementing a polynomial
+// reduction from Set Cover to the decision problem
+//
+//	OP-SELECT: given a circuit, a target fault list, a set of candidate
+//	observation point sites and a budget K, can observation points at K
+//	of the candidate sites make every target fault detectable?
+//
+// The gadget: each element becomes a buffered primary input whose
+// stuck-at-1 fault cannot reach any primary output (the only PO is forced
+// constant by a reconvergent blocker AND(t, NOT t)); each set becomes an
+// XOR tree over its elements' lines. XOR propagates any single fault
+// unconditionally, so an observation point at set node n_j detects
+// exactly the faults of elements in S_j, and K observation points detect
+// all faults iff the chosen sets cover all elements. Verification is a
+// single all-zeros test vector per fault, so the equivalence is checked
+// by actual fault simulation, not by the analytic model.
+package npc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/netlist"
+	"repro/internal/pattern"
+)
+
+// SetCover is an instance of the Set Cover decision problem: can the
+// universe {0..NumElements-1} be covered by at most K of the given sets?
+type SetCover struct {
+	NumElements int
+	Sets        [][]int
+	K           int
+}
+
+// Validate checks instance well-formedness: element indices in range and
+// every element present in at least one set (otherwise trivially
+// uncoverable, which the reduction also preserves, but we reject to keep
+// experiments meaningful).
+func (sc SetCover) Validate() error {
+	if sc.NumElements < 1 {
+		return errors.New("npc: instance needs at least one element")
+	}
+	if len(sc.Sets) == 0 {
+		return errors.New("npc: instance needs at least one set")
+	}
+	seen := make([]bool, sc.NumElements)
+	for si, s := range sc.Sets {
+		if len(s) == 0 {
+			return fmt.Errorf("npc: set %d is empty", si)
+		}
+		for _, e := range s {
+			if e < 0 || e >= sc.NumElements {
+				return fmt.Errorf("npc: set %d contains out-of-range element %d", si, e)
+			}
+			seen[e] = true
+		}
+	}
+	for e, ok := range seen {
+		if !ok {
+			return fmt.Errorf("npc: element %d appears in no set", e)
+		}
+	}
+	return nil
+}
+
+// Reduction is the circuit-level image of a Set Cover instance.
+type Reduction struct {
+	SC      SetCover
+	Circuit *netlist.Circuit
+	// TargetFaults[e] is the stuck-at-1 fault standing for element e.
+	TargetFaults []fault.Fault
+	// Candidates[j] is the signal standing for set j: the root of its XOR
+	// tree, the only legal observation point sites in the decision
+	// problem.
+	Candidates []int
+}
+
+// Reduce builds the gadget circuit. Size is polynomial: one buffer per
+// element, |S_j|-1 XOR gates per set, plus a 3-gate constant blocker.
+func Reduce(sc SetCover) (*Reduction, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("setcover_e%d_s%d", sc.NumElements, len(sc.Sets)))
+	elem := make([]int, sc.NumElements)
+	for e := range elem {
+		x := b.Input(fmt.Sprintf("x%d", e))
+		elem[e] = b.BufGate(fmt.Sprintf("e%d", e), x)
+	}
+	red := &Reduction{SC: sc}
+	for j, s := range sc.Sets {
+		cur := elem[s[0]]
+		for _, e := range s[1:] {
+			cur = b.XorGate("", cur, elem[e])
+		}
+		// A buffer names the set node even for singleton sets.
+		node := b.BufGate(fmt.Sprintf("set%d", j), cur)
+		red.Candidates = append(red.Candidates, node)
+	}
+	// Blocker PO: AND(t, NOT t) is constant 0 through reconvergent fanout,
+	// so nothing upstream of it is observable and the circuit still has a
+	// primary output.
+	t := b.Input("t")
+	nt := b.NotGate("nt", t)
+	z := b.AndGate("z", t, nt)
+	b.MarkOutput(z)
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	red.Circuit = c
+	for e := range elem {
+		red.TargetFaults = append(red.TargetFaults, fault.Fault{Gate: elem[e], Pin: -1, Stuck: true})
+	}
+	return red, nil
+}
+
+// allZeroVector is the single test vector that excites every element
+// stuck-at-1 fault; XOR trees then propagate unconditionally.
+func (r *Reduction) allZeroVector() [][]bool {
+	return [][]bool{make([]bool, r.Circuit.NumInputs())}
+}
+
+// Detects reports, via fault simulation of the gadget with observation
+// points inserted at the chosen candidate sets, which target faults are
+// detected.
+func (r *Reduction) Detects(chosen []int) (detected []bool, err error) {
+	pts := make([]netlist.TestPoint, len(chosen))
+	for i, j := range chosen {
+		if j < 0 || j >= len(r.Candidates) {
+			return nil, fmt.Errorf("npc: candidate index %d out of range", j)
+		}
+		pts[i] = netlist.TestPoint{Signal: r.Candidates[j], Kind: netlist.Observe}
+	}
+	mod, err := r.Circuit.InsertTestPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fsim.Run(mod, r.TargetFaults, pattern.NewVectors(r.allZeroVector()), fsim.Options{
+		MaxPatterns: 1,
+		DropFaults:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	detected = make([]bool, len(r.TargetFaults))
+	for i, f := range r.TargetFaults {
+		_, detected[i] = res.FirstDetect[f]
+	}
+	return detected, nil
+}
+
+// Feasible reports whether the chosen candidate sets make every target
+// fault detectable.
+func (r *Reduction) Feasible(chosen []int) (bool, error) {
+	det, err := r.Detects(chosen)
+	if err != nil {
+		return false, err
+	}
+	for _, d := range det {
+		if !d {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SolveTPIBruteForce finds the minimum number of candidate observation
+// points making every target fault detectable, by exhaustive subset
+// search over the candidates (smallest cardinality first). Exponential,
+// as expected of an NP-complete problem; the whole point of E7.
+func (r *Reduction) SolveTPIBruteForce() (minK int, chosen []int, err error) {
+	n := len(r.Candidates)
+	idx := make([]int, 0, n)
+	for k := 1; k <= n; k++ {
+		var found []int
+		var rec func(start int) (bool, error)
+		rec = func(start int) (bool, error) {
+			if len(idx) == k {
+				ok, err := r.Feasible(idx)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					found = append([]int(nil), idx...)
+				}
+				return ok, nil
+			}
+			for i := start; i < n; i++ {
+				idx = append(idx, i)
+				ok, err := rec(i + 1)
+				idx = idx[:len(idx)-1]
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		ok, err := rec(0)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			return k, found, nil
+		}
+	}
+	return 0, nil, errors.New("npc: no feasible observation point set exists")
+}
+
+// SolveSetCoverExact returns the exact minimum cover size by branch and
+// bound directly on the set system (the reference answer).
+func SolveSetCoverExact(sc SetCover) int {
+	coveredBy := make([][]int, sc.NumElements)
+	for j, s := range sc.Sets {
+		for _, e := range s {
+			coveredBy[e] = append(coveredBy[e], j)
+		}
+	}
+	covered := make([]int, sc.NumElements) // coverage multiplicity
+	best := len(sc.Sets) + 1
+	var rec func(chosen int)
+	rec = func(chosen int) {
+		if chosen >= best {
+			return
+		}
+		pick := -1
+		for e := 0; e < sc.NumElements; e++ {
+			if covered[e] == 0 && (pick < 0 || len(coveredBy[e]) < len(coveredBy[pick])) {
+				pick = e
+			}
+		}
+		if pick < 0 {
+			best = chosen
+			return
+		}
+		for _, j := range coveredBy[pick] {
+			for _, e := range sc.Sets[j] {
+				covered[e]++
+			}
+			rec(chosen + 1)
+			for _, e := range sc.Sets[j] {
+				covered[e]--
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+// RandomInstance generates a random Set Cover instance where every
+// element is guaranteed coverable.
+func RandomInstance(seed int64, elements, sets, maxSetSize int) SetCover {
+	rng := rand.New(rand.NewSource(seed))
+	sc := SetCover{NumElements: elements}
+	for j := 0; j < sets; j++ {
+		size := 1 + rng.Intn(maxSetSize)
+		members := map[int]bool{}
+		for len(members) < size {
+			members[rng.Intn(elements)] = true
+		}
+		var s []int
+		for e := range members {
+			s = append(s, e)
+		}
+		sort.Ints(s)
+		sc.Sets = append(sc.Sets, s)
+	}
+	// Guarantee coverability: sweep uncovered elements into the last set.
+	seen := make([]bool, elements)
+	for _, s := range sc.Sets {
+		for _, e := range s {
+			seen[e] = true
+		}
+	}
+	last := len(sc.Sets) - 1
+	for e, ok := range seen {
+		if !ok {
+			sc.Sets[last] = append(sc.Sets[last], e)
+		}
+	}
+	sort.Ints(sc.Sets[last])
+	return sc
+}

@@ -1,0 +1,223 @@
+// Package opt implements the classic netlist cleanup passes run before
+// DFT analysis: buffer sweeping, double-inverter elimination, structural
+// common-subexpression merging, idempotent-gate collapse, and dead logic
+// removal. Passes iterate to a fixpoint; primary outputs and all retained
+// signal names are preserved, and every rewrite is equivalence-checked in
+// the tests.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Stats counts what the optimizer did.
+type Stats struct {
+	BuffersSwept     int
+	InvPairsRemoved  int
+	DuplicatesMerged int
+	IdempotentFixed  int
+	DeadRemoved      int
+	Iterations       int
+}
+
+// Options reserves room for pass selection; the zero value runs
+// everything.
+type Options struct {
+	// KeepDead disables dead logic removal (useful when dangling signals
+	// are intentional, e.g. candidate observation taps).
+	KeepDead bool
+}
+
+// Optimize returns a functionally equivalent, cleaned-up circuit.
+func Optimize(c *netlist.Circuit, opts Options) (*netlist.Circuit, *Stats, error) {
+	stats := &Stats{}
+	cur := c
+	for {
+		stats.Iterations++
+		next, changed, err := pass(cur, opts, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = next
+		if !changed {
+			break
+		}
+		if stats.Iterations > 100 {
+			return nil, nil, fmt.Errorf("opt: no fixpoint after %d iterations", stats.Iterations)
+		}
+	}
+	return cur, stats, nil
+}
+
+// pass performs one round of all rewrites and rebuilds the circuit.
+func pass(c *netlist.Circuit, opts Options, stats *Stats) (*netlist.Circuit, bool, error) {
+	n := c.NumGates()
+	repl := make([]int, n)
+	for i := range repl {
+		repl[i] = i
+	}
+	var resolve func(id int) int
+	resolve = func(id int) int {
+		for repl[id] != id {
+			repl[id] = repl[repl[id]] // path compression
+			id = repl[id]
+		}
+		return id
+	}
+	changed := false
+
+	// Local rewrites, in topological order so upstream replacements are
+	// visible downstream within the same pass.
+	type cseKey struct {
+		t     netlist.GateType
+		fanin string
+	}
+	seen := make(map[cseKey]int)
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Type == netlist.Input {
+			continue
+		}
+		fanin := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = resolve(f)
+		}
+		isPO := c.IsOutput(id)
+		// Buffer sweep: uses of a buffer read its source directly. The
+		// buffer gate itself survives only while it is a primary output.
+		if g.Type == netlist.Buf && !isPO {
+			repl[id] = fanin[0]
+			stats.BuffersSwept++
+			changed = true
+			continue
+		}
+		// Double inverter: NOT(NOT(x)) reads x.
+		if g.Type == netlist.Not && !isPO {
+			src := fanin[0]
+			if c.Type(src) == netlist.Not {
+				inner := resolve(c.Fanin(src)[0])
+				repl[id] = inner
+				stats.InvPairsRemoved++
+				changed = true
+				continue
+			}
+		}
+		// Idempotent collapse: AND/OR over a single distinct signal is a
+		// buffer; NAND/NOR an inverter. (XOR is parity, not idempotent.)
+		distinct := uniqueInts(fanin)
+		if len(distinct) == 1 && len(fanin) > 1 {
+			switch g.Type {
+			case netlist.And, netlist.Or:
+				if !isPO {
+					repl[id] = distinct[0]
+					stats.IdempotentFixed++
+					changed = true
+					continue
+				}
+			}
+		}
+		// Structural CSE: same type, same (sorted) resolved fanins. All
+		// supported gate functions are symmetric in their inputs.
+		key := cseKey{t: g.Type, fanin: faninKey(fanin)}
+		if prev, ok := seen[key]; ok && prev != id && !isPO {
+			repl[id] = prev
+			stats.DuplicatesMerged++
+			changed = true
+			continue
+		}
+		if _, ok := seen[key]; !ok {
+			seen[key] = id
+		}
+	}
+
+	// Liveness from primary outputs through resolved fanins.
+	live := make([]bool, n)
+	var mark func(id int)
+	mark = func(id int) {
+		id = resolve(id)
+		if live[id] {
+			return
+		}
+		live[id] = true
+		for _, f := range c.Fanin(id) {
+			mark(f)
+		}
+	}
+	for _, o := range c.Outputs() {
+		mark(o)
+	}
+	if opts.KeepDead {
+		for id := range live {
+			if !live[resolve(id)] && repl[id] == id {
+				live[id] = true
+				for _, f := range c.Fanin(id) {
+					mark(f)
+				}
+			}
+		}
+	}
+
+	// Rebuild.
+	b := netlist.NewBuilder(c.Name())
+	for id := 0; id < n; id++ {
+		b.ReserveNames(c.GateName(id))
+	}
+	newID := make([]int, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Type == netlist.Input {
+			// Inputs are always kept in declaration order: dropping or
+			// reordering primary inputs would change the interface.
+			newID[id] = b.Input(g.Name)
+			continue
+		}
+		if resolve(id) != id || !live[id] {
+			if !live[resolve(id)] && repl[id] == id && !opts.KeepDead {
+				stats.DeadRemoved++
+				changed = true
+			}
+			continue
+		}
+		fanin := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = newID[resolve(f)]
+		}
+		newID[id] = b.Add(g.Type, g.Name, fanin...)
+	}
+	for _, o := range c.Outputs() {
+		b.MarkOutput(newID[resolve(o)])
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, false, fmt.Errorf("opt: rebuild: %w", err)
+	}
+	return out, changed, nil
+}
+
+func uniqueInts(xs []int) []int {
+	m := make(map[int]bool, len(xs))
+	var out []int
+	for _, x := range xs {
+		if !m[x] {
+			m[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func faninKey(fanin []int) string {
+	s := append([]int(nil), fanin...)
+	sort.Ints(s)
+	key := make([]byte, 0, len(s)*4)
+	for _, x := range s {
+		key = append(key, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return string(key)
+}

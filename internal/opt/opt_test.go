@@ -1,0 +1,210 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eqcheck"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// checkEquivalent optimizes and verifies function preservation.
+func checkEquivalent(t *testing.T, c *netlist.Circuit) (*netlist.Circuit, *Stats) {
+	t.Helper()
+	out, stats, err := Optimize(c, Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name(), err)
+	}
+	ok, ce, err := eqcheck.Equal(c, out, eqcheck.Options{})
+	if err != nil {
+		t.Fatalf("%s: eqcheck: %v", c.Name(), err)
+	}
+	if !ok {
+		t.Fatalf("%s: optimization changed function (counterexample %v)", c.Name(), ce)
+	}
+	if out.NumGates() > c.NumGates() {
+		t.Errorf("%s: optimizer grew the circuit: %d -> %d", c.Name(), c.NumGates(), out.NumGates())
+	}
+	return out, stats
+}
+
+func TestOptimizePreservesFunction(t *testing.T) {
+	for _, c := range []*netlist.Circuit{
+		gen.C17(),
+		gen.RippleCarryAdder(4),
+		gen.Comparator(5),
+		gen.Multiplier(3),
+		gen.ParityTree(8),
+	} {
+		checkEquivalent(t, c)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		checkEquivalent(t, gen.RandomDAG(seed, 10, 80, gen.DAGOptions{}))
+		checkEquivalent(t, gen.RandomTree(seed, 15, gen.TreeOptions{}))
+	}
+}
+
+func TestBufferSweep(t *testing.T) {
+	b := netlist.NewBuilder("bufs")
+	a := b.Input("a")
+	x := b.Input("b")
+	b1 := b.BufGate("b1", a)
+	b2 := b.BufGate("b2", b1)
+	g := b.AndGate("g", b2, x)
+	b.MarkOutput(g)
+	c := b.MustBuild()
+	out, stats := checkEquivalent(t, c)
+	if stats.BuffersSwept != 2 {
+		t.Errorf("swept %d buffers, want 2", stats.BuffersSwept)
+	}
+	if out.NumGates() != 3 { // a, b, g
+		t.Errorf("gates = %d, want 3", out.NumGates())
+	}
+}
+
+func TestBufferAsOutputKept(t *testing.T) {
+	b := netlist.NewBuilder("pobuf")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.AndGate("g", a, x)
+	ob := b.BufGate("ob", g)
+	b.MarkOutput(ob)
+	c := b.MustBuild()
+	out, _ := checkEquivalent(t, c)
+	if _, ok := out.GateByName("ob"); !ok {
+		t.Error("primary output buffer was swept away")
+	}
+}
+
+func TestDoubleInverter(t *testing.T) {
+	b := netlist.NewBuilder("inv2")
+	a := b.Input("a")
+	x := b.Input("b")
+	n1 := b.NotGate("n1", a)
+	n2 := b.NotGate("n2", n1)
+	g := b.OrGate("g", n2, x)
+	b.MarkOutput(g)
+	c := b.MustBuild()
+	out, stats := checkEquivalent(t, c)
+	if stats.InvPairsRemoved < 1 {
+		t.Errorf("inverter pairs removed = %d, want >= 1", stats.InvPairsRemoved)
+	}
+	if out.NumGates() != 3 {
+		t.Errorf("gates = %d, want 3 (a, b, g)", out.NumGates())
+	}
+}
+
+func TestCSE(t *testing.T) {
+	b := netlist.NewBuilder("dup")
+	a := b.Input("a")
+	x := b.Input("b")
+	g1 := b.AndGate("g1", a, x)
+	g2 := b.AndGate("g2", x, a) // same function, swapped pins
+	z := b.OrGate("z", g1, g2)  // OR of identical signals
+	b.MarkOutput(z)
+	c := b.MustBuild()
+	out, stats := checkEquivalent(t, c)
+	if stats.DuplicatesMerged < 1 {
+		t.Errorf("duplicates merged = %d, want >= 1", stats.DuplicatesMerged)
+	}
+	// After CSE, z = OR(g1, g1) collapses idempotently; final circuit is
+	// a, b, and one AND feeding the PO (kept as z or merged).
+	if out.NumGates() > 4 {
+		t.Errorf("gates = %d, want <= 4", out.NumGates())
+	}
+}
+
+func TestDeadRemoval(t *testing.T) {
+	b := netlist.NewBuilder("dead")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.AndGate("g", a, x)
+	b.NorGate("unused", a, x) // dangling
+	b.MarkOutput(g)
+	c := b.MustBuild()
+	out, stats := checkEquivalent(t, c)
+	if stats.DeadRemoved < 1 {
+		t.Errorf("dead removed = %d, want >= 1", stats.DeadRemoved)
+	}
+	if _, ok := out.GateByName("unused"); ok {
+		t.Error("dead gate survived")
+	}
+	// KeepDead preserves it.
+	kept, _, err := Optimize(c, Options{KeepDead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kept.GateByName("unused"); !ok {
+		t.Error("KeepDead removed the dangling gate")
+	}
+}
+
+func TestDeadInputsKept(t *testing.T) {
+	b := netlist.NewBuilder("unusedin")
+	a := b.Input("a")
+	b.Input("spare") // never used
+	z := b.NotGate("z", a)
+	b.MarkOutput(z)
+	c := b.MustBuild()
+	out, _ := checkEquivalent(t, c)
+	if out.NumInputs() != 2 {
+		t.Errorf("inputs = %d, want 2 (interface preserved)", out.NumInputs())
+	}
+	if out.GateName(out.Inputs()[1]) != "spare" {
+		t.Error("input order changed")
+	}
+}
+
+func TestIdempotentCollapse(t *testing.T) {
+	b := netlist.NewBuilder("idem")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.AndGate("g", a, a) // AND(a,a) = a
+	z := b.OrGate("z", g, x)
+	b.MarkOutput(z)
+	c := b.MustBuild()
+	out, stats := checkEquivalent(t, c)
+	if stats.IdempotentFixed < 1 {
+		t.Errorf("idempotent fixes = %d, want >= 1", stats.IdempotentFixed)
+	}
+	if _, ok := out.GateByName("g"); ok {
+		t.Error("AND(a,a) survived")
+	}
+}
+
+// TestOptimizeQuickProperty: optimization preserves function on random
+// DAGs across seeds (the umbrella property).
+func TestOptimizeQuickProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := gen.RandomDAG(seed%64, 8, 50, gen.DAGOptions{})
+		out, _, err := Optimize(c, Options{})
+		if err != nil {
+			return false
+		}
+		ok, _, err := eqcheck.Equal(c, out, eqcheck.Options{})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	// Running the optimizer twice must change nothing the second time.
+	c := gen.RandomDAG(5, 12, 120, gen.DAGOptions{})
+	once, _, err := Optimize(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, stats, err := Optimize(once, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twice.NumGates() != once.NumGates() {
+		t.Errorf("second run changed gate count: %d -> %d", once.NumGates(), twice.NumGates())
+	}
+	if stats.Iterations != 1 {
+		t.Errorf("second run took %d iterations, want 1 (fixpoint)", stats.Iterations)
+	}
+}

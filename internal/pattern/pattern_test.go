@@ -1,0 +1,194 @@
+package pattern
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+func TestLFSRMaximalPeriodPrefix(t *testing.T) {
+	// The 64-bit LFSR state must not repeat within a modest window.
+	l := NewLFSR(0xace1)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1<<16; i++ {
+		if seen[l.state] {
+			t.Fatalf("state repeated after %d steps", i)
+		}
+		seen[l.state] = true
+		l.step()
+	}
+}
+
+func TestLFSRZeroSeedReplaced(t *testing.T) {
+	l := NewLFSR(0)
+	dst := make([]uint64, 4)
+	l.FillBlock(dst)
+	any := uint64(0)
+	for _, w := range dst {
+		any |= w
+	}
+	if any == 0 {
+		t.Error("zero-seeded LFSR produced all-zero block")
+	}
+}
+
+func TestLFSRResetReproduces(t *testing.T) {
+	l := NewLFSR(42)
+	a := make([]uint64, 5)
+	b := make([]uint64, 5)
+	l.FillBlock(a)
+	l.Reset()
+	l.FillBlock(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("word %d differs after reset", i)
+		}
+	}
+}
+
+func TestLFSRBitBalance(t *testing.T) {
+	// Over many blocks, each input's bit stream should be ~50% ones.
+	l := NewLFSR(7)
+	dst := make([]uint64, 8)
+	ones := make([]int, 8)
+	const blocks = 256
+	for b := 0; b < blocks; b++ {
+		l.FillBlock(dst)
+		for i, w := range dst {
+			ones[i] += bits.OnesCount64(w)
+		}
+	}
+	for i, o := range ones {
+		p := float64(o) / float64(blocks*64)
+		if math.Abs(p-0.5) > 0.05 {
+			t.Errorf("input %d bit probability %.3f, want ~0.5", i, p)
+		}
+	}
+}
+
+func TestCounterExhaustive(t *testing.T) {
+	c := NewCounter(3)
+	dst := make([]uint64, 3)
+	n := c.FillBlock(dst)
+	if n != 8 {
+		t.Fatalf("counter produced %d patterns, want 8", n)
+	}
+	// Every one of the 8 combinations appears exactly once.
+	seen := make(map[int]bool)
+	for b := 0; b < 8; b++ {
+		v := 0
+		for i := range dst {
+			if dst[i]>>uint(b)&1 == 1 {
+				v |= 1 << uint(i)
+			}
+		}
+		if seen[v] {
+			t.Errorf("combination %d repeated", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("saw %d distinct combinations, want 8", len(seen))
+	}
+	if n := c.FillBlock(dst); n != 0 {
+		t.Errorf("exhausted counter produced %d more patterns", n)
+	}
+	c.Reset()
+	if n := c.FillBlock(dst); n != 8 {
+		t.Errorf("after reset counter produced %d patterns, want 8", n)
+	}
+}
+
+func TestCounterLargeSpansBlocks(t *testing.T) {
+	c := NewCounter(8) // 256 patterns = 4 blocks
+	dst := make([]uint64, 8)
+	total := 0
+	for {
+		n := c.FillBlock(dst)
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if total != 256 {
+		t.Errorf("counter produced %d patterns, want 256", total)
+	}
+}
+
+func TestCounterPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 31-input counter")
+		}
+	}()
+	NewCounter(31)
+}
+
+func TestWeightedBias(t *testing.T) {
+	w := NewWeighted(99, []float64{0.9, 0.1})
+	dst := make([]uint64, 2)
+	ones := [2]int{}
+	const blocks = 128
+	for b := 0; b < blocks; b++ {
+		w.FillBlock(dst)
+		ones[0] += bits.OnesCount64(dst[0])
+		ones[1] += bits.OnesCount64(dst[1])
+	}
+	p0 := float64(ones[0]) / float64(blocks*64)
+	p1 := float64(ones[1]) / float64(blocks*64)
+	if math.Abs(p0-0.9) > 0.05 || math.Abs(p1-0.1) > 0.05 {
+		t.Errorf("weighted probabilities %.3f/%.3f, want 0.9/0.1", p0, p1)
+	}
+}
+
+func TestWeightedDefaultsAndReset(t *testing.T) {
+	w := NewWeighted(5, nil)
+	a := make([]uint64, 3)
+	b := make([]uint64, 3)
+	w.FillBlock(a)
+	w.Reset()
+	w.FillBlock(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("weighted source not reproducible after reset")
+		}
+	}
+}
+
+func TestVectorsReplay(t *testing.T) {
+	vecs := [][]bool{
+		{true, false, true},
+		{false, true, false},
+	}
+	v := NewVectors(vecs)
+	dst := make([]uint64, 3)
+	n := v.FillBlock(dst)
+	if n != 2 {
+		t.Fatalf("produced %d, want 2", n)
+	}
+	if dst[0] != 0b01 || dst[1] != 0b10 || dst[2] != 0b01 {
+		t.Errorf("packed words = %b %b %b", dst[0], dst[1], dst[2])
+	}
+	if n := v.FillBlock(dst); n != 0 {
+		t.Error("exhausted vector source produced more")
+	}
+	v.Reset()
+	if n := v.FillBlock(dst); n != 2 {
+		t.Error("reset vector source did not replay")
+	}
+}
+
+func TestVectorsManyBlocks(t *testing.T) {
+	vecs := make([][]bool, 100)
+	for i := range vecs {
+		vecs[i] = []bool{i%2 == 0}
+	}
+	v := NewVectors(vecs)
+	dst := make([]uint64, 1)
+	if n := v.FillBlock(dst); n != 64 {
+		t.Errorf("first block = %d, want 64", n)
+	}
+	if n := v.FillBlock(dst); n != 36 {
+		t.Errorf("second block = %d, want 36", n)
+	}
+}

@@ -1,0 +1,72 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseVectorText reads test vectors in the plain text format emitted by
+// WriteVectorText: one vector per line as a string of '0'/'1' characters
+// (leftmost character = first primary input), blank lines and '#'
+// comments ignored. All vectors must have the same width.
+func ParseVectorText(r io.Reader) ([][]bool, error) {
+	sc := bufio.NewScanner(r)
+	var vecs [][]bool
+	lineNo := 0
+	width := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		vec := make([]bool, 0, len(line))
+		for _, ch := range line {
+			switch ch {
+			case '0':
+				vec = append(vec, false)
+			case '1':
+				vec = append(vec, true)
+			case ' ', '\t', '_':
+				// cosmetic separators allowed
+			default:
+				return nil, fmt.Errorf("pattern: line %d: invalid character %q", lineNo, ch)
+			}
+		}
+		if width < 0 {
+			width = len(vec)
+		} else if len(vec) != width {
+			return nil, fmt.Errorf("pattern: line %d: vector width %d, expected %d", lineNo, len(vec), width)
+		}
+		if len(vec) == 0 {
+			return nil, fmt.Errorf("pattern: line %d: empty vector", lineNo)
+		}
+		vecs = append(vecs, vec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pattern: read: %w", err)
+	}
+	return vecs, nil
+}
+
+// WriteVectorText writes vectors in the text format ParseVectorText
+// reads.
+func WriteVectorText(w io.Writer, vecs [][]bool) error {
+	bw := bufio.NewWriter(w)
+	for _, vec := range vecs {
+		for _, b := range vec {
+			if b {
+				bw.WriteByte('1')
+			} else {
+				bw.WriteByte('0')
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,111 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorTextRoundTrip(t *testing.T) {
+	vecs := [][]bool{
+		{true, false, true, true},
+		{false, false, false, false},
+		{true, true, true, true},
+	}
+	var sb strings.Builder
+	if err := WriteVectorText(&sb, vecs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseVectorText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vecs) {
+		t.Fatalf("got %d vectors, want %d", len(got), len(vecs))
+	}
+	for i := range vecs {
+		for j := range vecs[i] {
+			if got[i][j] != vecs[i][j] {
+				t.Errorf("vector %d bit %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestVectorTextRoundTripProperty(t *testing.T) {
+	// Property: any random vector set survives a write/parse cycle.
+	f := func(words []uint16, width uint8) bool {
+		w := int(width%16) + 1
+		vecs := make([][]bool, 0, len(words))
+		for _, word := range words {
+			vec := make([]bool, w)
+			for i := 0; i < w; i++ {
+				vec[i] = word>>uint(i)&1 == 1
+			}
+			vecs = append(vecs, vec)
+		}
+		if len(vecs) == 0 {
+			return true
+		}
+		var sb strings.Builder
+		if err := WriteVectorText(&sb, vecs); err != nil {
+			return false
+		}
+		got, err := ParseVectorText(strings.NewReader(sb.String()))
+		if err != nil || len(got) != len(vecs) {
+			return false
+		}
+		for i := range vecs {
+			for j := range vecs[i] {
+				if got[i][j] != vecs[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorTextCommentsAndSeparators(t *testing.T) {
+	in := `
+# header comment
+10_10  # trailing comment
+01 01
+`
+	vecs, err := ParseVectorText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 2 || len(vecs[0]) != 4 {
+		t.Fatalf("got %d vectors of width %d", len(vecs), len(vecs[0]))
+	}
+	if !vecs[0][0] || vecs[0][1] || !vecs[0][2] || vecs[0][3] {
+		t.Errorf("vector 0 = %v", vecs[0])
+	}
+}
+
+func TestVectorTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad char":                     "10x1\n",
+		"width mismatch":               "101\n10\n",
+		"comment-only vector is empty": "#c\n1\n\n0\n10\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseVectorText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error for %q", name, in)
+		}
+	}
+}
+
+func TestVectorTextEmptyInput(t *testing.T) {
+	vecs, err := ParseVectorText(strings.NewReader("# nothing\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 0 {
+		t.Errorf("got %d vectors from empty input", len(vecs))
+	}
+}

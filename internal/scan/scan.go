@@ -1,0 +1,195 @@
+// Package scan models the full-scan environment around a combinational
+// core, the setting the TPI literature assumes: sequential circuits whose
+// flip-flops are stitched into scan chains, so the tester (or BIST
+// controller) sees a pure combinational test problem plus a shift cost
+// per pattern. The package reads sequential ISCAS'89-style .bench files
+// (with DFF gates), performs the full-scan transformation — every
+// flip-flop output becomes a pseudo primary input, every flip-flop input
+// a pseudo primary output — and computes test application time under a
+// scan-cycle cost model, which is what test point insertion ultimately
+// buys down.
+package scan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+)
+
+// FF records one scanned flip-flop of the original sequential design.
+type FF struct {
+	Name string
+	// D is the core signal feeding the flip-flop (a pseudo primary
+	// output of the core).
+	D int
+	// Q is the core input standing for the flip-flop output (a pseudo
+	// primary input).
+	Q int
+}
+
+// Design is a full-scan design: a combinational core whose inputs are the
+// true primary inputs plus one pseudo-input per flip-flop, and whose
+// outputs are the true primary outputs plus one pseudo-output per
+// flip-flop.
+type Design struct {
+	Core *netlist.Circuit
+	FFs  []FF
+	// TruePIs/TruePOs index into Core.Inputs()/Core.Outputs() order:
+	// true[i] reports whether the i-th core input/output is a real pin
+	// rather than a scan pseudo-pin.
+	TruePIs []bool
+	TruePOs []bool
+	// Chains is the number of scan chains the flip-flops are stitched
+	// into (1 if unset).
+	Chains int
+}
+
+// NumFFs returns the flip-flop count.
+func (d *Design) NumFFs() int { return len(d.FFs) }
+
+// ChainLength returns the longest scan chain length under balanced
+// stitching.
+func (d *Design) ChainLength() int {
+	chains := d.Chains
+	if chains < 1 {
+		chains = 1
+	}
+	return (len(d.FFs) + chains - 1) / chains
+}
+
+// TestCycles returns the tester clock cycles to apply n scan patterns:
+// each pattern shifts in through the longest chain (ChainLength cycles),
+// applies one capture cycle, and the final response shifts out overlapped
+// with the next shift-in; the last unload adds one chain length.
+func (d *Design) TestCycles(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	L := d.ChainLength()
+	return n*(L+1) + L
+}
+
+// ParseSequentialBench reads an ISCAS'89-style .bench netlist containing
+// DFF gates and returns the full-scan design: `q = DFF(d)` is rewritten
+// into INPUT(q) + OUTPUT(d), and the remaining combinational logic is
+// parsed as usual. chains selects the scan stitching (<=0 means 1).
+func ParseSequentialBench(r io.Reader, name string, chains int) (*Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var combLines []string
+	type rawFF struct{ q, d string }
+	var ffs []rawFF
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq >= 0 {
+			rhs := strings.TrimSpace(line[eq+1:])
+			upper := strings.ToUpper(rhs)
+			if strings.HasPrefix(upper, "DFF") {
+				open := strings.IndexByte(rhs, '(')
+				if open < 0 || !strings.HasSuffix(rhs, ")") {
+					return nil, fmt.Errorf("scan: line %d: malformed DFF %q", lineNo, line)
+				}
+				d := strings.TrimSpace(rhs[open+1 : len(rhs)-1])
+				if d == "" || strings.ContainsRune(d, ',') {
+					return nil, fmt.Errorf("scan: line %d: DFF must have exactly one input", lineNo)
+				}
+				q := strings.TrimSpace(line[:eq])
+				ffs = append(ffs, rawFF{q: q, d: d})
+				continue
+			}
+		}
+		combLines = append(combLines, raw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scan: read: %w", err)
+	}
+	// Synthesize the scan-transformed netlist: pseudo PIs and POs for the
+	// flip-flops, appended after the original declarations.
+	var b strings.Builder
+	for _, l := range combLines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, ff := range ffs {
+		fmt.Fprintf(&b, "INPUT(%s)\nOUTPUT(%s)\n", ff.q, ff.d)
+	}
+	core, err := bench.Parse(strings.NewReader(b.String()), name)
+	if err != nil {
+		return nil, err
+	}
+	if chains <= 0 {
+		chains = 1
+	}
+	design := &Design{Core: core, Chains: chains}
+	pseudoIn := make(map[string]bool, len(ffs))
+	pseudoOut := make(map[string]bool, len(ffs))
+	for _, ff := range ffs {
+		q, ok := core.GateByName(ff.q)
+		if !ok {
+			return nil, fmt.Errorf("scan: flip-flop output %q missing from core", ff.q)
+		}
+		d, ok := core.GateByName(ff.d)
+		if !ok {
+			return nil, fmt.Errorf("scan: flip-flop input %q missing from core", ff.d)
+		}
+		design.FFs = append(design.FFs, FF{Name: ff.q, Q: q, D: d})
+		pseudoIn[ff.q] = true
+		pseudoOut[ff.d] = true
+	}
+	design.TruePIs = make([]bool, core.NumInputs())
+	for i, in := range core.Inputs() {
+		design.TruePIs[i] = !pseudoIn[core.GateName(in)]
+	}
+	design.TruePOs = make([]bool, core.NumOutputs())
+	for i, o := range core.Outputs() {
+		design.TruePOs[i] = !pseudoOut[core.GateName(o)]
+	}
+	return design, nil
+}
+
+// WrapCombinational treats an existing combinational circuit as the core
+// of a full-scan design in which the given numbers of leading inputs and
+// outputs are scan pseudo-pins. Used by generators and experiments that
+// want a scan cost model without a sequential netlist.
+func WrapCombinational(core *netlist.Circuit, pseudoIns, pseudoOuts, chains int) (*Design, error) {
+	if pseudoIns > core.NumInputs() || pseudoOuts > core.NumOutputs() {
+		return nil, fmt.Errorf("scan: pseudo pin counts exceed core pins")
+	}
+	if pseudoIns != pseudoOuts {
+		return nil, fmt.Errorf("scan: flip-flop count mismatch: %d pseudo-ins vs %d pseudo-outs", pseudoIns, pseudoOuts)
+	}
+	if chains <= 0 {
+		chains = 1
+	}
+	d := &Design{Core: core, Chains: chains}
+	d.TruePIs = make([]bool, core.NumInputs())
+	d.TruePOs = make([]bool, core.NumOutputs())
+	for i := range d.TruePIs {
+		d.TruePIs[i] = i >= pseudoIns
+	}
+	for i := range d.TruePOs {
+		d.TruePOs[i] = i >= pseudoOuts
+	}
+	for i := 0; i < pseudoIns; i++ {
+		d.FFs = append(d.FFs, FF{
+			Name: core.GateName(core.Inputs()[i]),
+			Q:    core.Inputs()[i],
+			D:    core.Outputs()[i],
+		})
+	}
+	return d, nil
+}

@@ -1,0 +1,211 @@
+package scan
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/pattern"
+	"repro/internal/tpi"
+)
+
+// seqBench is a small sequential circuit in ISCAS'89 style: 2 PIs, 1 PO,
+// 3 flip-flops forming a shift-ish structure with feedback.
+const seqBench = `
+# tiny sequential benchmark
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+
+q1 = DFF(d1)
+q2 = DFF(d2)
+q3 = DFF(d3)
+
+n1 = AND(a, q1)
+d1 = XOR(b, q3)
+d2 = NAND(n1, q2)
+d3 = OR(q2, a)
+z  = NOR(n1, q3)
+`
+
+func TestParseSequentialBench(t *testing.T) {
+	d, err := ParseSequentialBench(strings.NewReader(seqBench), "seq", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFFs() != 3 {
+		t.Fatalf("FFs = %d, want 3", d.NumFFs())
+	}
+	// Core: 2 true PIs + 3 pseudo = 5 inputs; 1 true PO + 3 pseudo = 4.
+	if d.Core.NumInputs() != 5 {
+		t.Errorf("core inputs = %d, want 5", d.Core.NumInputs())
+	}
+	if d.Core.NumOutputs() != 4 {
+		t.Errorf("core outputs = %d, want 4", d.Core.NumOutputs())
+	}
+	trueIns := 0
+	for _, v := range d.TruePIs {
+		if v {
+			trueIns++
+		}
+	}
+	if trueIns != 2 {
+		t.Errorf("true PIs = %d, want 2", trueIns)
+	}
+	trueOuts := 0
+	for _, v := range d.TruePOs {
+		if v {
+			trueOuts++
+		}
+	}
+	if trueOuts != 1 {
+		t.Errorf("true POs = %d, want 1", trueOuts)
+	}
+	// The scan core is an ordinary combinational circuit: fault simulate it.
+	res, err := fsim.Run(d.Core, fault.CollapsedUniverse(d.Core), pattern.NewLFSR(1),
+		fsim.Options{MaxPatterns: 1024, DropFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() < 0.9 {
+		t.Errorf("scan core coverage %.3f suspiciously low", res.Coverage())
+	}
+}
+
+func TestParseSequentialBenchErrors(t *testing.T) {
+	cases := map[string]string{
+		"multi-input DFF": "INPUT(a)\nOUTPUT(z)\nq = DFF(a, z)\nz = NOT(q)\n",
+		"malformed DFF":   "INPUT(a)\nOUTPUT(z)\nq = DFF a\nz = NOT(q)\n",
+		"dangling d":      "INPUT(a)\nOUTPUT(z)\nq = DFF(ghost)\nz = NOT(q)\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseSequentialBench(strings.NewReader(text), name, 1); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestChainLengthAndCycles(t *testing.T) {
+	d, err := ParseSequentialBench(strings.NewReader(seqBench), "seq", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChainLength() != 3 {
+		t.Errorf("chain length = %d, want 3", d.ChainLength())
+	}
+	// n patterns: n*(L+1)+L cycles.
+	if got, want := d.TestCycles(10), 10*4+3; got != want {
+		t.Errorf("cycles = %d, want %d", got, want)
+	}
+	if d.TestCycles(0) != 0 {
+		t.Error("zero patterns must cost zero cycles")
+	}
+	// Two chains halve the shift depth.
+	d.Chains = 2
+	if d.ChainLength() != 2 {
+		t.Errorf("2-chain length = %d, want 2", d.ChainLength())
+	}
+	if d.TestCycles(10) >= 10*4+3 {
+		t.Error("more chains must reduce test time")
+	}
+}
+
+func TestWrapCombinational(t *testing.T) {
+	c := gen.RippleCarryAdder(4) // 9 inputs, 5 outputs
+	d, err := WrapCombinational(c, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFFs() != 4 || d.ChainLength() != 2 {
+		t.Errorf("FFs=%d chainLen=%d", d.NumFFs(), d.ChainLength())
+	}
+	if _, err := WrapCombinational(c, 3, 4, 1); err == nil {
+		t.Error("expected mismatch error")
+	}
+	if _, err := WrapCombinational(c, 99, 99, 1); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+// patternsToTarget returns the smallest multiple of 64 patterns at which
+// the run's coverage reaches the target, or -1.
+func patternsToTarget(res *fsim.Result, total int, target float64) int {
+	for n := 64; n <= res.Patterns; n += 64 {
+		det := 0
+		for _, idx := range res.FirstDetect {
+			if idx < n {
+				det++
+			}
+		}
+		if float64(det)/float64(total) >= target {
+			return n
+		}
+	}
+	return -1
+}
+
+func TestScanTPIReducesTestTime(t *testing.T) {
+	// The economic argument: test points cut the patterns needed for a
+	// coverage target, which multiplies into scan cycles saved.
+	core := gen.RPResistant(7, 2, 12, 60)
+	d, err := WrapCombinational(core, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.CollapsedUniverse(core)
+	const target = 0.95
+	before, err := fsim.Run(core, faults, pattern.NewLFSR(3), fsim.Options{MaxPatterns: 16384, DropFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nBefore := patternsToTarget(before, len(faults), target)
+	if nBefore < 0 {
+		t.Skip("original core does not reach the target within the budget")
+	}
+	// Plan observation points on the core and re-measure; the modified
+	// core must need no more patterns, hence no more scan cycles.
+	plan, err := tpi.PlanObservationPointsDP(core, faults, 4, 1.0/2048, tpi.OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := core.InsertTestPoints(plan.TestPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := fsim.Run(mod, faults, pattern.NewLFSR(3), fsim.Options{MaxPatterns: 16384, DropFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nAfter := patternsToTarget(after, len(faults), target)
+	if nAfter < 0 {
+		t.Fatal("modified core regressed below the target")
+	}
+	if nAfter > nBefore {
+		t.Errorf("test points increased patterns to target: %d -> %d", nBefore, nAfter)
+	}
+	if d.TestCycles(nAfter) > d.TestCycles(nBefore) {
+		t.Errorf("scan cycles increased: %d -> %d", d.TestCycles(nBefore), d.TestCycles(nAfter))
+	}
+	if d.TestCycles(nBefore) <= nBefore {
+		t.Errorf("scan cycles %d must exceed pattern count %d", d.TestCycles(nBefore), nBefore)
+	}
+}
+
+func TestParseSequentialBenchFromTestdata(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "testdata", "seq3.bench"))
+	if err != nil {
+		t.Skip("testdata missing")
+	}
+	defer f.Close()
+	d, err := ParseSequentialBench(f, "seq3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFFs() != 3 {
+		t.Errorf("FFs = %d, want 3", d.NumFFs())
+	}
+}

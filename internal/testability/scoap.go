@@ -1,0 +1,129 @@
+package testability
+
+import "repro/internal/netlist"
+
+// SCOAP holds the classic integer testability measures: CC0/CC1 count the
+// minimum number of line assignments needed to set a signal to 0/1, CO
+// counts the assignments needed to observe it at a primary output. Large
+// values flag hard-to-control/observe logic; unlike COP these are
+// combinatorial difficulty measures, not probabilities.
+type SCOAP struct {
+	CC0, CC1 []int
+	CO       []int
+}
+
+// scoapInf is the sentinel for unobservable/uncontrollable (should not
+// occur in validated circuits but keeps arithmetic safe).
+const scoapInf = 1 << 30
+
+// NewSCOAP computes the SCOAP measures.
+func NewSCOAP(c *netlist.Circuit) *SCOAP {
+	n := c.NumGates()
+	s := &SCOAP{
+		CC0: make([]int, n),
+		CC1: make([]int, n),
+		CO:  make([]int, n),
+	}
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		switch g.Type {
+		case netlist.Input:
+			s.CC0[id], s.CC1[id] = 1, 1
+		case netlist.Buf:
+			s.CC0[id] = s.CC0[g.Fanin[0]] + 1
+			s.CC1[id] = s.CC1[g.Fanin[0]] + 1
+		case netlist.Not:
+			s.CC0[id] = s.CC1[g.Fanin[0]] + 1
+			s.CC1[id] = s.CC0[g.Fanin[0]] + 1
+		case netlist.And, netlist.Nand:
+			sum1, min0 := 0, scoapInf
+			for _, f := range g.Fanin {
+				sum1 += s.CC1[f]
+				if s.CC0[f] < min0 {
+					min0 = s.CC0[f]
+				}
+			}
+			if g.Type == netlist.And {
+				s.CC1[id], s.CC0[id] = sum1+1, min0+1
+			} else {
+				s.CC0[id], s.CC1[id] = sum1+1, min0+1
+			}
+		case netlist.Or, netlist.Nor:
+			sum0, min1 := 0, scoapInf
+			for _, f := range g.Fanin {
+				sum0 += s.CC0[f]
+				if s.CC1[f] < min1 {
+					min1 = s.CC1[f]
+				}
+			}
+			if g.Type == netlist.Or {
+				s.CC0[id], s.CC1[id] = sum0+1, min1+1
+			} else {
+				s.CC1[id], s.CC0[id] = sum0+1, min1+1
+			}
+		case netlist.Xor, netlist.Xnor:
+			// Fold pairwise: cost of parity-0 / parity-1 over the prefix.
+			c0, c1 := s.CC0[g.Fanin[0]], s.CC1[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				n0, n1 := s.CC0[f], s.CC1[f]
+				c0, c1 = minInt(c0+n0, c1+n1), minInt(c0+n1, c1+n0)
+			}
+			if g.Type == netlist.Xor {
+				s.CC0[id], s.CC1[id] = c0+1, c1+1
+			} else {
+				s.CC0[id], s.CC1[id] = c1+1, c0+1
+			}
+		}
+	}
+	// Observability, reverse topological.
+	order := c.TopoOrder()
+	for _, id := range order {
+		s.CO[id] = scoapInf
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		if c.IsOutput(id) {
+			s.CO[id] = 0
+		}
+		for _, consumer := range c.Fanout(id) {
+			g := c.Gate(consumer)
+			for pin, f := range g.Fanin {
+				if f != id {
+					continue
+				}
+				cost := s.CO[consumer] + 1
+				switch g.Type {
+				case netlist.And, netlist.Nand:
+					for j, other := range g.Fanin {
+						if j != pin {
+							cost += s.CC1[other]
+						}
+					}
+				case netlist.Or, netlist.Nor:
+					for j, other := range g.Fanin {
+						if j != pin {
+							cost += s.CC0[other]
+						}
+					}
+				case netlist.Xor, netlist.Xnor:
+					for j, other := range g.Fanin {
+						if j != pin {
+							cost += minInt(s.CC0[other], s.CC1[other])
+						}
+					}
+				}
+				if cost < s.CO[id] {
+					s.CO[id] = cost
+				}
+			}
+		}
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+// Package testcount implements the Hayes–Friedman minimal test-set theory
+// for fanout-free networks of unate gates, the objective function of the
+// reconstructed 1987 dynamic program.
+//
+// For a fanout-free circuit every fault effect exits its subtree through a
+// unique line, which yields exact recurrences for the minimum number of
+// tests in a complete single-stuck-at test set. Writing t0(n)/t1(n) for
+// the number of tests that must apply 0/1 at line n while sensitizing
+// subtree faults:
+//
+//	leaf:  t0 = t1 = 1
+//	AND:   t1 = max_i t1(x_i)   t0 = Σ_i t0(x_i)
+//	OR:    t0 = max_i t0(x_i)   t1 = Σ_i t1(x_i)
+//	NAND:  t0 = max_i t1(x_i)   t1 = Σ_i t0(x_i)
+//	NOR:   t1 = max_i t0(x_i)   t0 = Σ_i t1(x_i)
+//	NOT:   t0 = t1(x)           t1 = t0(x)
+//	BUF:   identity
+//
+// The minimal complete test set of the tree rooted at r has exactly
+// t0(r) + t1(r) tests. The intuition: a test that sets an AND output to 1
+// puts every input at its non-controlling value and therefore sensitizes
+// all input subtrees simultaneously (only one can deviate under the
+// single-fault assumption), so 1-tests of children run in parallel (max);
+// a test that sets the output to 0 sensitizes exactly the one input
+// holding controlling 0, so 0-tests serialize (sum).
+//
+// XOR/XNOR gates are binate and outside the theory; expand them first with
+// netlist.ExpandXor (which generally introduces fanout, taking the circuit
+// outside the fanout-free class as the original theory requires).
+package testcount
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// ErrNotFanoutFree is returned for circuits with fanout.
+var ErrNotFanoutFree = errors.New("testcount: circuit is not fanout-free")
+
+// ErrBinateGate is returned for circuits containing XOR/XNOR gates.
+var ErrBinateGate = errors.New("testcount: circuit contains binate (XOR/XNOR) gates")
+
+// Counts holds the per-line test counts of a fanout-free circuit.
+type Counts struct {
+	c      *netlist.Circuit
+	T0, T1 []int
+}
+
+// Compute evaluates the recurrences over the whole circuit. The circuit
+// must be fanout-free and unate.
+func Compute(c *netlist.Circuit) (*Counts, error) {
+	return computeWithCuts(c, nil)
+}
+
+// Total returns t0+t1 of a line: the minimal complete test set size of
+// the subtree it roots (when that line is observed).
+func (ct *Counts) Total(id int) int { return ct.T0[id] + ct.T1[id] }
+
+// CircuitTests returns the minimal complete test set size for the whole
+// circuit: trees rooted at different primary outputs have disjoint leaf
+// supports, so their tests merge and the circuit needs max over roots.
+func (ct *Counts) CircuitTests() int {
+	m := 0
+	for _, o := range ct.c.Outputs() {
+		if t := ct.Total(o); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// CutAnalysis reports the segment structure induced by a set of full test
+// points (cuts).
+type CutAnalysis struct {
+	// SegmentRoots lists the root line of each segment: every cut signal
+	// plus every primary output (deduplicated, cut POs appear once).
+	SegmentRoots []int
+	// Cost[i] is the minimal test count of segment i.
+	Cost []int
+	// MaxCost is the circuit test count after insertion: segments have
+	// disjoint input supports, so they are tested concurrently.
+	MaxCost int
+}
+
+// AnalyzeCuts computes per-segment minimal test counts when full test
+// points are inserted at the given signals. A cut observes its line
+// (closing the segment below) and feeds the logic above from a fresh
+// primary input (a new leaf with t0 = t1 = 1).
+func AnalyzeCuts(c *netlist.Circuit, cuts []int) (*CutAnalysis, error) {
+	ct, err := computeWithCuts(c, cuts)
+	if err != nil {
+		return nil, err
+	}
+	isCut := make(map[int]bool, len(cuts))
+	for _, s := range cuts {
+		isCut[s] = true
+	}
+	an := &CutAnalysis{}
+	for _, s := range cuts {
+		an.SegmentRoots = append(an.SegmentRoots, s)
+		an.Cost = append(an.Cost, ct.Total(s))
+	}
+	for _, o := range c.Outputs() {
+		if isCut[o] {
+			continue // already counted; observing a PO twice adds nothing
+		}
+		an.SegmentRoots = append(an.SegmentRoots, o)
+		an.Cost = append(an.Cost, ct.Total(o))
+	}
+	for _, t := range an.Cost {
+		if t > an.MaxCost {
+			an.MaxCost = t
+		}
+	}
+	return an, nil
+}
+
+// computeWithCuts runs the recurrences, treating cut signals as fresh
+// leaves for the logic above them. T0/T1 of a cut signal keep the values
+// computed from below (the segment it roots); consumers see (1, 1).
+func computeWithCuts(c *netlist.Circuit, cuts []int) (*Counts, error) {
+	if !c.IsFanoutFree() {
+		return nil, ErrNotFanoutFree
+	}
+	isCut := make(map[int]bool, len(cuts))
+	for _, s := range cuts {
+		if s < 0 || s >= c.NumGates() {
+			return nil, fmt.Errorf("testcount: cut signal %d out of range", s)
+		}
+		isCut[s] = true
+	}
+	ct := &Counts{
+		c:  c,
+		T0: make([]int, c.NumGates()),
+		T1: make([]int, c.NumGates()),
+	}
+	// childCounts reads the (t0, t1) a consumer sees for fanin f.
+	childCounts := func(f int) (int, int) {
+		if isCut[f] {
+			return 1, 1
+		}
+		return ct.T0[f], ct.T1[f]
+	}
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		switch g.Type {
+		case netlist.Input:
+			ct.T0[id], ct.T1[id] = 1, 1
+		case netlist.Buf:
+			ct.T0[id], ct.T1[id] = childCounts(g.Fanin[0])
+		case netlist.Not:
+			t0, t1 := childCounts(g.Fanin[0])
+			ct.T0[id], ct.T1[id] = t1, t0
+		case netlist.And, netlist.Nand:
+			maxT1, sumT0 := 0, 0
+			for _, f := range g.Fanin {
+				t0, t1 := childCounts(f)
+				if t1 > maxT1 {
+					maxT1 = t1
+				}
+				sumT0 += t0
+			}
+			if g.Type == netlist.And {
+				ct.T1[id], ct.T0[id] = maxT1, sumT0
+			} else {
+				ct.T0[id], ct.T1[id] = maxT1, sumT0
+			}
+		case netlist.Or, netlist.Nor:
+			maxT0, sumT1 := 0, 0
+			for _, f := range g.Fanin {
+				t0, t1 := childCounts(f)
+				if t0 > maxT0 {
+					maxT0 = t0
+				}
+				sumT1 += t1
+			}
+			if g.Type == netlist.Or {
+				ct.T0[id], ct.T1[id] = maxT0, sumT1
+			} else {
+				ct.T1[id], ct.T0[id] = maxT0, sumT1
+			}
+		case netlist.Xor, netlist.Xnor:
+			return nil, ErrBinateGate
+		}
+	}
+	return ct, nil
+}

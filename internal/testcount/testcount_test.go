@@ -1,0 +1,347 @@
+package testcount
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// detectsTable builds the exhaustive fault-detection matrix: for every
+// input vector, the set of faults it detects.
+func detectsTable(c *netlist.Circuit) (vectors int, table [][]bool, faults []fault.Fault) {
+	faults = fault.Universe(c)
+	n := c.NumInputs()
+	vectors = 1 << uint(n)
+	table = make([][]bool, vectors)
+	for v := 0; v < vectors; v++ {
+		table[v] = make([]bool, len(faults))
+		vec := make([]bool, n)
+		for i := range vec {
+			vec[i] = v>>uint(i)&1 == 1
+		}
+		good := evalWithFault(c, vec, nil)
+		for fi, f := range faults {
+			ff := f
+			bad := evalWithFault(c, vec, &ff)
+			for _, o := range c.Outputs() {
+				if good[o] != bad[o] {
+					table[v][fi] = true
+					break
+				}
+			}
+		}
+	}
+	return
+}
+
+func evalWithFault(c *netlist.Circuit, vec []bool, f *fault.Fault) []bool {
+	vals := make([]bool, c.NumGates())
+	for i, in := range c.Inputs() {
+		vals[in] = vec[i]
+	}
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Type != netlist.Input {
+			in := make([]bool, len(g.Fanin))
+			for pin, fin := range g.Fanin {
+				in[pin] = vals[fin]
+				if f != nil && !f.IsStem() && f.Gate == id && f.Pin == pin {
+					in[pin] = f.Stuck
+				}
+			}
+			vals[id] = g.Type.Eval(in)
+		}
+		if f != nil && f.IsStem() && f.Gate == id {
+			vals[id] = f.Stuck
+		}
+	}
+	return vals
+}
+
+// minCover finds the exact minimum number of vectors covering all
+// detectable faults, by branch and bound.
+func minCover(vectors int, table [][]bool, nFaults int) int {
+	// coveredBy[fi] = vectors detecting fault fi.
+	coveredBy := make([][]int, nFaults)
+	for v := 0; v < vectors; v++ {
+		for fi := 0; fi < nFaults; fi++ {
+			if table[v][fi] {
+				coveredBy[fi] = append(coveredBy[fi], v)
+			}
+		}
+	}
+	covered := make([]bool, nFaults)
+	// Undetectable faults are excluded from the cover obligation.
+	detectable := 0
+	for fi := 0; fi < nFaults; fi++ {
+		if len(coveredBy[fi]) == 0 {
+			covered[fi] = true
+		} else {
+			detectable++
+		}
+	}
+	best := detectable + 1 // upper bound: one test per fault always works
+	var rec func(chosen int)
+	rec = func(chosen int) {
+		if chosen >= best {
+			return
+		}
+		// Pick the uncovered fault with the fewest covering vectors.
+		pick, pickLen := -1, 1<<30
+		for fi := 0; fi < nFaults; fi++ {
+			if !covered[fi] && len(coveredBy[fi]) < pickLen {
+				pick, pickLen = fi, len(coveredBy[fi])
+			}
+		}
+		if pick < 0 {
+			best = chosen
+			return
+		}
+		for _, v := range coveredBy[pick] {
+			var newly []int
+			for fi := 0; fi < nFaults; fi++ {
+				if !covered[fi] && table[v][fi] {
+					covered[fi] = true
+					newly = append(newly, fi)
+				}
+			}
+			rec(chosen + 1)
+			for _, fi := range newly {
+				covered[fi] = false
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestRecurrencesMatchExactMinimumOnRandomTrees(t *testing.T) {
+	// The headline theorem: t0(root)+t1(root) equals the true minimum
+	// complete test set size, verified against an exact set-cover solver.
+	for seed := int64(0); seed < 10; seed++ {
+		c := gen.RandomTree(seed, 6, gen.TreeOptions{})
+		ct, err := Compute(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		vectors, table, faults := detectsTable(c)
+		want := minCover(vectors, table, len(faults))
+		if got := ct.CircuitTests(); got != want {
+			t.Errorf("seed %d: recurrence says %d tests, exact minimum is %d", seed, got, want)
+		}
+	}
+}
+
+func TestKnownSmallCircuits(t *testing.T) {
+	// 2-input AND: t1 = max(1,1) = 1, t0 = 1+1 = 2, total 3.
+	b := netlist.NewBuilder("and2")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.AndGate("g", a, x)
+	b.MarkOutput(g)
+	ct, err := Compute(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.T1[g] != 1 || ct.T0[g] != 2 {
+		t.Errorf("AND2: t0=%d t1=%d, want 2/1", ct.T0[g], ct.T1[g])
+	}
+	if ct.CircuitTests() != 3 {
+		t.Errorf("AND2 total = %d, want 3", ct.CircuitTests())
+	}
+
+	// k-input AND needs k+1 tests.
+	for k := 2; k <= 8; k++ {
+		b := netlist.NewBuilder("andk")
+		var ins []int
+		for i := 0; i < k; i++ {
+			ins = append(ins, b.Input(string(rune('a'+i))))
+		}
+		g := b.AndGate("out", ins...)
+		b.MarkOutput(g)
+		ct, err := Compute(b.MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ct.CircuitTests(); got != k+1 {
+			t.Errorf("AND%d total = %d, want %d", k, got, k+1)
+		}
+	}
+
+	// Balanced AND cone of width 8: t0 = 8 (one per leaf), t1 = 1.
+	cone := gen.AndCone(8)
+	ct, err = Compute(cone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.CircuitTests(); got != 9 {
+		t.Errorf("AndCone(8) total = %d, want 9", got)
+	}
+
+	// Inverter chain: 2 tests regardless of length.
+	b2 := netlist.NewBuilder("inv")
+	cur := b2.Input("a")
+	for i := 0; i < 5; i++ {
+		cur = b2.NotGate("", cur)
+	}
+	b2.MarkOutput(cur)
+	ct, err = Compute(b2.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.CircuitTests(); got != 2 {
+		t.Errorf("inverter chain total = %d, want 2", got)
+	}
+}
+
+func TestNandNorDuality(t *testing.T) {
+	// NAND tree vs AND tree with the same shape: totals match under
+	// 0/1 exchange at each level; the circuit totals are equal for
+	// a single gate.
+	b := netlist.NewBuilder("nand2")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.NandGate("g", a, x)
+	b.MarkOutput(g)
+	ct, err := Compute(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.T0[g] != 1 || ct.T1[g] != 2 {
+		t.Errorf("NAND2: t0=%d t1=%d, want 1/2", ct.T0[g], ct.T1[g])
+	}
+}
+
+func TestRejectsFanout(t *testing.T) {
+	if _, err := Compute(gen.C17()); err != ErrNotFanoutFree {
+		t.Errorf("expected ErrNotFanoutFree, got %v", err)
+	}
+}
+
+func TestRejectsXor(t *testing.T) {
+	if _, err := Compute(gen.ParityTree(4)); err != ErrBinateGate {
+		t.Errorf("expected ErrBinateGate, got %v", err)
+	}
+}
+
+func TestAnalyzeCutsSegments(t *testing.T) {
+	// Chain: AND(AND(a,b), AND(c,d)) — total = t0+t1 = (2+2)+1 = 5.
+	// Cutting at one inner AND: lower segment cost 3, upper segment
+	// becomes AND(leaf, AND(c,d)): t0 = 1+2 = 3, t1 = 1 → cost 4.
+	b := netlist.NewBuilder("two")
+	a := b.Input("a")
+	x := b.Input("b")
+	cc := b.Input("c")
+	d := b.Input("d")
+	g1 := b.AndGate("g1", a, x)
+	g2 := b.AndGate("g2", cc, d)
+	root := b.AndGate("root", g1, g2)
+	b.MarkOutput(root)
+	c := b.MustBuild()
+
+	ct, err := Compute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.CircuitTests() != 5 {
+		t.Fatalf("uncut total = %d, want 5", ct.CircuitTests())
+	}
+	an, err := AnalyzeCuts(c, []int{g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.SegmentRoots) != 2 {
+		t.Fatalf("segments = %d, want 2", len(an.SegmentRoots))
+	}
+	costs := map[int]int{}
+	for i, r := range an.SegmentRoots {
+		costs[r] = an.Cost[i]
+	}
+	if costs[g1] != 3 {
+		t.Errorf("lower segment cost = %d, want 3", costs[g1])
+	}
+	if costs[root] != 4 {
+		t.Errorf("upper segment cost = %d, want 4", costs[root])
+	}
+	if an.MaxCost != 4 {
+		t.Errorf("max cost = %d, want 4", an.MaxCost)
+	}
+	// Cutting both inner gates: lower segments 3 and 3; upper AND(leaf,
+	// leaf) = 3. Max = 3.
+	an2, err := AnalyzeCuts(c, []int{g1, g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an2.MaxCost != 3 {
+		t.Errorf("two-cut max = %d, want 3", an2.MaxCost)
+	}
+}
+
+func TestAnalyzeCutsNeverIncreasesMax(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		c := gen.RandomTree(seed, 30, gen.TreeOptions{})
+		ct, err := Compute(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := ct.CircuitTests()
+		// Cut each internal signal alone; max cost must never exceed the
+		// uncut total (monotonicity of the objective in cuts).
+		for id := 0; id < c.NumGates(); id++ {
+			if c.Type(id) == netlist.Input || c.IsOutput(id) {
+				continue
+			}
+			an, err := AnalyzeCuts(c, []int{id})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if an.MaxCost > base {
+				t.Errorf("seed %d: cutting %s raised max cost %d > %d", seed, c.GateName(id), an.MaxCost, base)
+			}
+		}
+	}
+}
+
+func TestAnalyzeCutsPOCut(t *testing.T) {
+	// Cutting a PO is legal and counted once.
+	c := gen.AndCone(4)
+	out := c.Outputs()[0]
+	an, err := AnalyzeCuts(c, []int{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.SegmentRoots) != 1 {
+		t.Errorf("segments = %d, want 1", len(an.SegmentRoots))
+	}
+}
+
+func TestAnalyzeCutsBadSignal(t *testing.T) {
+	c := gen.AndCone(4)
+	if _, err := AnalyzeCuts(c, []int{999}); err == nil {
+		t.Error("expected error for out-of-range cut")
+	}
+}
+
+func TestMultiOutputForest(t *testing.T) {
+	// Two independent trees: circuit tests = max of the two.
+	b := netlist.NewBuilder("forest")
+	a := b.Input("a")
+	x := b.Input("b")
+	g1 := b.AndGate("g1", a, x) // 3 tests
+	c1 := b.Input("c")
+	d := b.Input("d")
+	e := b.Input("e")
+	f := b.Input("f")
+	g2 := b.AndGate("g2", c1, d, e, f) // 5 tests
+	b.MarkOutput(g1)
+	b.MarkOutput(g2)
+	ct, err := Compute(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.CircuitTests(); got != 5 {
+		t.Errorf("forest total = %d, want 5", got)
+	}
+}

@@ -1,0 +1,177 @@
+package tpi
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/pattern"
+)
+
+func TestControlPointsFixExcitationLimitedFaults(t *testing.T) {
+	// A 16-wide AND cone: output s-a-0 needs all-ones (p = 2^-16).
+	// Observation points cannot help; an OR-type (force-1) control point
+	// in the cone must.
+	c := gen.AndCone(16)
+	faults := fault.CollapsedUniverse(c)
+	const dth = 1.0 / 512
+	cp, err := PlanControlPointsGreedy(c, faults, 2, dth, CPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.CoveredAfter <= cp.CoveredBefore {
+		t.Fatalf("control points did not improve modelled coverage: %d -> %d", cp.CoveredBefore, cp.CoveredAfter)
+	}
+	// The selected points must include at least one Control1 (OR-type):
+	// the cone needs its lines pulled toward 1.
+	hasControl1 := false
+	for _, p := range cp.Points {
+		if p.Kind == netlist.Control1 {
+			hasControl1 = true
+		}
+	}
+	if !hasControl1 {
+		t.Errorf("expected an OR-type control point in an AND cone, got %v", cp.Points)
+	}
+}
+
+func TestControlPointsRealCoverageUplift(t *testing.T) {
+	// End-to-end on the AND cone: with control points inserted and 4096
+	// patterns, real fault coverage must beat the unmodified circuit.
+	c := gen.AndCone(16)
+	faults := fault.CollapsedUniverse(c)
+	cp, err := PlanControlPointsGreedy(c, faults, 2, 1.0/512, CPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := cp.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := fsim.Run(c, faults, pattern.NewLFSR(9), fsim.Options{MaxPatterns: 4096, DropFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := fsim.Run(mod, faults, pattern.NewLFSR(9), fsim.Options{MaxPatterns: 4096, DropFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Coverage() <= before.Coverage() {
+		t.Errorf("real coverage did not improve: %.4f -> %.4f", before.Coverage(), after.Coverage())
+	}
+}
+
+func TestControlPointsStopWhenNoGain(t *testing.T) {
+	// A parity tree is perfectly random-pattern testable: every fault has
+	// detection probability 0.5. No control point can add coverage at a
+	// modest threshold, so the planner must stop early.
+	c := gen.ParityTree(8)
+	faults := fault.CollapsedUniverse(c)
+	cp, err := PlanControlPointsGreedy(c, faults, 4, 0.1, CPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Points) != 0 {
+		t.Errorf("planner inserted %d pointless control points", len(cp.Points))
+	}
+	if cp.CoveredBefore != len(faults) {
+		t.Errorf("parity tree baseline coverage %d/%d", cp.CoveredBefore, len(faults))
+	}
+}
+
+func TestControlPointsNegativeBudget(t *testing.T) {
+	c := gen.C17()
+	if _, err := PlanControlPointsGreedy(c, fault.CollapsedUniverse(c), -1, 0.1, CPOptions{}); err != ErrBudgetNegative {
+		t.Errorf("expected ErrBudgetNegative, got %v", err)
+	}
+}
+
+func TestCPPlanApplyPreservesFunction(t *testing.T) {
+	// Applying a CP plan and driving all test inputs passive must leave
+	// the original outputs intact (checked over exhaustive vectors).
+	c := gen.AndCone(8)
+	faults := fault.CollapsedUniverse(c)
+	cp, err := PlanControlPointsGreedy(c, faults, 2, 1.0/64, CPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Points) == 0 {
+		t.Skip("no control points selected")
+	}
+	mod, err := cp.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passive values: Control0 test input = 1, Control1 test input = 0.
+	passive := make(map[string]bool)
+	for i := c.NumInputs(); i < mod.NumInputs(); i++ {
+		// Inserted test inputs appear after the originals; their passive
+		// value depends on the gate they feed (AND -> 1, OR -> 0).
+		in := mod.Inputs()[i]
+		consumer := mod.Fanout(in)[0]
+		passive[mod.GateName(in)] = mod.Type(consumer) == netlist.And
+	}
+	for v := 0; v < 256; v++ {
+		origVals := evalBool(c, func(i int) bool { return v>>uint(i)&1 == 1 })
+		modVals := evalBool(mod, func(i int) bool {
+			if i < c.NumInputs() {
+				return v>>uint(i)&1 == 1
+			}
+			return passive[mod.GateName(mod.Inputs()[i])]
+		})
+		for oi, o := range c.Outputs() {
+			if origVals[o] != modVals[mod.Outputs()[oi]] {
+				t.Fatalf("vector %d: output %d differs with passive control inputs", v, oi)
+			}
+		}
+	}
+}
+
+func evalBool(c *netlist.Circuit, assign func(idx int) bool) []bool {
+	vals := make([]bool, c.NumGates())
+	for i, in := range c.Inputs() {
+		vals[in] = assign(i)
+	}
+	buf := make([]bool, 0, 8)
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Type == netlist.Input {
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range g.Fanin {
+			buf = append(buf, vals[f])
+		}
+		vals[id] = g.Type.Eval(buf)
+	}
+	return vals
+}
+
+func TestHybridPlanOnRPResistant(t *testing.T) {
+	// The full flow on a random-pattern-resistant circuit: control points
+	// for excitation, observation points for propagation. Real coverage
+	// at 8k patterns must improve strictly.
+	c := gen.RPResistant(3, 3, 12, 50)
+	faults := fault.CollapsedUniverse(c)
+	h, err := PlanHybrid(c, faults, 3, 3, 1.0/1024, CPOptions{}, OPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.AllPoints() == 0 {
+		t.Skip("no test points selected on this instance")
+	}
+	before, err := fsim.Run(c, faults, pattern.NewLFSR(11), fsim.Options{MaxPatterns: 8192, DropFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := fsim.Run(h.Modified, faults, pattern.NewLFSR(11), fsim.Options{MaxPatterns: 8192, DropFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Coverage() <= before.Coverage() {
+		t.Errorf("hybrid plan did not improve coverage: %.4f -> %.4f (%d CPs, %d OPs)",
+			before.Coverage(), after.Coverage(), len(h.Control.Points), len(h.Observe.Points))
+	}
+}

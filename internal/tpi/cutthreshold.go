@@ -1,0 +1,146 @@
+package tpi
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/testcount"
+)
+
+// PlanCutsThreshold is the fast near-optimal P1 planner: it binary-
+// searches the achievable minimax test count like the DP, but decides
+// feasibility with a single bottom-up greedy pass — at each node whose
+// open-segment cost exceeds the threshold, the child whose replacement by
+// a cut reduces the cost most is cut, repeatedly, until the node fits.
+// One pass is O(n · maxFanin²) against the DP's Pareto sets, at the
+// price of optimality: the plan is always valid and usually optimal, but
+// can exceed the DP on adversarial trees (quantified in E8).
+func PlanCutsThreshold(c *netlist.Circuit, k int) (*CutPlan, error) {
+	if k < 0 {
+		return nil, ErrBudgetNegative
+	}
+	base, err := testcount.Compute(c)
+	if err != nil {
+		return nil, err
+	}
+	plan := &CutPlan{BaseCost: base.CircuitTests()}
+	if k == 0 {
+		plan.MaxCost = plan.BaseCost
+		return plan, nil
+	}
+	lo, hi := 2, plan.BaseCost
+	bestT := hi
+	var bestCuts []int
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		cuts, states, ok := thresholdFeasible(c, mid, k)
+		plan.StatesVisited += states
+		if ok {
+			bestT = mid
+			bestCuts = cuts
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	plan.Cuts = bestCuts
+	sort.Ints(plan.Cuts)
+	// The greedy pass may over- or under-shoot the threshold's nominal
+	// value; report the actual achieved cost.
+	an, err := testcount.AnalyzeCuts(c, plan.Cuts)
+	if err != nil {
+		return nil, err
+	}
+	plan.MaxCost = an.MaxCost
+	if plan.MaxCost > bestT {
+		// Never expected (the pass enforces <= T); stay honest anyway.
+		bestT = plan.MaxCost
+	}
+	if plan.MaxCost >= plan.BaseCost {
+		plan.Cuts = nil
+		plan.MaxCost = plan.BaseCost
+	}
+	return plan, nil
+}
+
+// thresholdFeasible runs the bottom-up greedy pass at threshold T and
+// reports the cut set if at most k cuts suffice.
+func thresholdFeasible(c *netlist.Circuit, T, k int) (cuts []int, states int64, ok bool) {
+	t0 := make([]int, c.NumGates())
+	t1 := make([]int, c.NumGates())
+	isCut := make([]bool, c.NumGates())
+	childCounts := func(f int) (int, int) {
+		if isCut[f] {
+			return 1, 1
+		}
+		return t0[f], t1[f]
+	}
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Type == netlist.Input {
+			t0[id], t1[id] = 1, 1
+			continue
+		}
+		sumZero, swap := aggRules(g.Type)
+		eval := func() (int, int) {
+			var a, b int // a sums, b maxes
+			for _, f := range g.Fanin {
+				c0, c1 := childCounts(f)
+				if sumZero {
+					a += c0
+					b = maxInt(b, c1)
+				} else {
+					a += c1
+					b = maxInt(b, c0)
+				}
+			}
+			var v0, v1 int
+			if sumZero {
+				v0, v1 = a, b
+			} else {
+				v1, v0 = a, b
+			}
+			if swap {
+				v0, v1 = v1, v0
+			}
+			return v0, v1
+		}
+		v0, v1 := eval()
+		states++
+		// Cut children greedily while over threshold.
+		for v0+v1 > T {
+			bestChild, bestCost := -1, v0+v1
+			for _, f := range g.Fanin {
+				if isCut[f] || c.Type(f) == netlist.Input {
+					continue
+				}
+				isCut[f] = true
+				w0, w1 := eval()
+				isCut[f] = false
+				states++
+				if w0+w1 < bestCost {
+					bestCost, bestChild = w0+w1, f
+				}
+			}
+			if bestChild < 0 {
+				return nil, states, false // no cut reduces this node
+			}
+			// The cut-off child becomes a closed segment; it satisfied
+			// <= T when it was processed (its own subtree was fixed up
+			// then), so only the local bookkeeping changes.
+			isCut[bestChild] = true
+			cuts = append(cuts, bestChild)
+			if len(cuts) > k {
+				return nil, states, false
+			}
+			v0, v1 = eval()
+		}
+		t0[id], t1[id] = v0, v1
+	}
+	for _, o := range c.Outputs() {
+		if t0[o]+t1[o] > T {
+			return nil, states, false
+		}
+	}
+	return cuts, states, true
+}

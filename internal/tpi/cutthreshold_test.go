@@ -1,0 +1,105 @@
+package tpi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+func TestThresholdPlannerValidAndBounded(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := gen.RandomTree(seed, 40, gen.TreeOptions{})
+		for _, k := range []int{1, 3, 6} {
+			th, err := PlanCutsThreshold(c, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dp, err := PlanCutsDP(c, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if th.MaxCost < dp.MaxCost {
+				t.Errorf("seed %d k %d: threshold planner %d beat the exact DP %d",
+					seed, k, th.MaxCost, dp.MaxCost)
+			}
+			if th.MaxCost > th.BaseCost {
+				t.Errorf("seed %d k %d: plan worsened the objective", seed, k)
+			}
+			if len(th.Cuts) > k {
+				t.Errorf("seed %d k %d: budget exceeded (%d cuts)", seed, k, len(th.Cuts))
+			}
+			if err := VerifyCutPlan(c, th); err != nil {
+				t.Errorf("seed %d k %d: %v", seed, k, err)
+			}
+		}
+	}
+}
+
+func TestThresholdPlannerUsuallyOptimal(t *testing.T) {
+	// The fast planner should match the DP on a solid majority of random
+	// instances — that is its reason to exist.
+	match, total := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		c := gen.RandomTree(seed, 30, gen.TreeOptions{})
+		th, err := PlanCutsThreshold(c, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := PlanCutsDP(c, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if th.MaxCost == dp.MaxCost {
+			match++
+		}
+	}
+	if match*2 < total {
+		t.Errorf("threshold planner matched DP on only %d/%d instances", match, total)
+	}
+	t.Logf("threshold planner optimal on %d/%d instances", match, total)
+}
+
+// TestThresholdPlannerQuickProperty drives the comparison with
+// testing/quick over the (seed, leaves, budget) space.
+func TestThresholdPlannerQuickProperty(t *testing.T) {
+	f := func(seed int64, leaves, budget uint8) bool {
+		n := int(leaves%20) + 4
+		k := int(budget % 5)
+		c := gen.RandomTree(seed, n, gen.TreeOptions{})
+		th, err := PlanCutsThreshold(c, k)
+		if err != nil {
+			return false
+		}
+		dp, err := PlanCutsDP(c, k)
+		if err != nil {
+			return false
+		}
+		return th.MaxCost >= dp.MaxCost && th.MaxCost <= th.BaseCost &&
+			len(th.Cuts) <= k && VerifyCutPlan(c, th) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdPlannerZeroAndNegative(t *testing.T) {
+	c := gen.RandomTree(1, 10, gen.TreeOptions{})
+	p, err := PlanCutsThreshold(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxCost != p.BaseCost {
+		t.Errorf("k=0 cost %d != base %d", p.MaxCost, p.BaseCost)
+	}
+	if _, err := PlanCutsThreshold(c, -2); err != ErrBudgetNegative {
+		t.Errorf("expected ErrBudgetNegative, got %v", err)
+	}
+}
+
+func TestThresholdPlannerRejectsFanout(t *testing.T) {
+	if _, err := PlanCutsThreshold(gen.C17(), 2); err == nil {
+		t.Error("expected error on reconvergent circuit")
+	}
+}

@@ -1,0 +1,33 @@
+package vlog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the Verilog reader never panics and that accepted
+// inputs round-trip through the writer.
+func FuzzParse(f *testing.F) {
+	f.Add(c17Verilog)
+	f.Add("module t (a, z);\ninput a;\noutput z;\nnot g (z, a);\nendmodule\n")
+	f.Add("module t (a);\ninput a;\nendmodule\n")
+	f.Add("/* unterminated\n")
+	f.Add("module ; endmodule")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Write(&sb, c); err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		c2, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\n%s", err, sb.String())
+		}
+		if c2.NumGates() != c.NumGates() {
+			t.Fatalf("round trip changed gate count: %d vs %d", c2.NumGates(), c.NumGates())
+		}
+	})
+}

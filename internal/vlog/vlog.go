@@ -1,0 +1,343 @@
+// Package vlog reads and writes the structural Verilog subset the classic
+// gate-level benchmark distributions use: a single module whose body is
+// input/output/wire declarations plus primitive gate instantiations with
+// the output as the first terminal:
+//
+//	module c17 (N1, N2, N3, N6, N7, N22, N23);
+//	  input N1, N2, N3, N6, N7;
+//	  output N22, N23;
+//	  wire N10, N11, N16, N19;
+//	  nand NAND2_1 (N10, N1, N3);
+//	  nand NAND2_2 (N11, N3, N6);
+//	  ...
+//	endmodule
+//
+// Both // line and /* block */ comments are handled. No behavioural
+// constructs, no vectors, no assigns — structural primitives only.
+package vlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// ParseError reports a syntax or structural problem.
+type ParseError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return "vlog: " + e.Msg }
+
+var primitives = map[string]netlist.GateType{
+	"buf":  netlist.Buf,
+	"not":  netlist.Not,
+	"and":  netlist.And,
+	"nand": netlist.Nand,
+	"or":   netlist.Or,
+	"nor":  netlist.Nor,
+	"xor":  netlist.Xor,
+	"xnor": netlist.Xnor,
+}
+
+// Parse reads one structural Verilog module and returns the circuit.
+func Parse(r io.Reader) (*netlist.Circuit, error) {
+	text, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("vlog: read: %w", err)
+	}
+	stmts, err := split(string(text))
+	if err != nil {
+		return nil, err
+	}
+	var (
+		moduleName string
+		inputs     []string
+		outputs    []string
+		inModule   bool
+		ended      bool
+	)
+	type inst struct {
+		gate      netlist.GateType
+		terminals []string
+	}
+	var insts []inst
+	for _, st := range stmts {
+		fields := strings.Fields(st)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "module":
+			if inModule {
+				return nil, &ParseError{"nested or repeated module"}
+			}
+			inModule = true
+			rest := strings.TrimSpace(st[len("module"):])
+			if i := strings.IndexByte(rest, '('); i >= 0 {
+				moduleName = strings.TrimSpace(rest[:i])
+			} else {
+				moduleName = rest
+			}
+			if moduleName == "" {
+				return nil, &ParseError{"module without a name"}
+			}
+		case "endmodule":
+			ended = true
+		case "input":
+			inputs = append(inputs, parseNameList(st[len("input"):])...)
+		case "output":
+			outputs = append(outputs, parseNameList(st[len("output"):])...)
+		case "wire":
+			// Declarations only; connectivity comes from instantiations.
+		default:
+			gt, ok := primitives[fields[0]]
+			if !ok {
+				return nil, &ParseError{fmt.Sprintf("unsupported construct %q", fields[0])}
+			}
+			open := strings.IndexByte(st, '(')
+			closep := strings.LastIndexByte(st, ')')
+			if open < 0 || closep < open {
+				return nil, &ParseError{fmt.Sprintf("malformed instantiation %q", st)}
+			}
+			terms := parseNameList(st[open+1 : closep])
+			if len(terms) < 2 {
+				return nil, &ParseError{fmt.Sprintf("instantiation %q needs an output and at least one input", st)}
+			}
+			insts = append(insts, inst{gate: gt, terminals: terms})
+		}
+	}
+	if !inModule {
+		return nil, &ParseError{"no module found"}
+	}
+	if !ended {
+		return nil, &ParseError{"missing endmodule"}
+	}
+
+	b := netlist.NewBuilder(moduleName)
+	ids := make(map[string]int, len(inputs)+len(insts))
+	for _, in := range inputs {
+		if _, dup := ids[in]; dup {
+			return nil, &ParseError{fmt.Sprintf("input %q declared twice", in)}
+		}
+		ids[in] = b.Input(in)
+	}
+	// Instantiations may appear in any order; worklist until resolved.
+	pending := insts
+	for len(pending) > 0 {
+		progressed := false
+		remaining := pending[:0]
+		for _, in := range pending {
+			ready := true
+			for _, t := range in.terminals[1:] {
+				if _, ok := ids[t]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				remaining = append(remaining, in)
+				continue
+			}
+			out := in.terminals[0]
+			if _, dup := ids[out]; dup {
+				return nil, &ParseError{fmt.Sprintf("signal %q driven twice", out)}
+			}
+			gt := in.gate
+			// Single-input and/or shorthand does not exist in Verilog;
+			// enforce arity through the builder instead.
+			fanin := make([]int, 0, len(in.terminals)-1)
+			for _, t := range in.terminals[1:] {
+				fanin = append(fanin, ids[t])
+			}
+			ids[out] = b.Add(gt, out, fanin...)
+			progressed = true
+		}
+		pending = remaining
+		if !progressed {
+			for _, t := range pending[0].terminals[1:] {
+				if _, ok := ids[t]; !ok {
+					return nil, &ParseError{fmt.Sprintf("undriven signal %q (or combinational loop)", t)}
+				}
+			}
+			return nil, &ParseError{"combinational loop"}
+		}
+	}
+	for _, o := range outputs {
+		id, ok := ids[o]
+		if !ok {
+			return nil, &ParseError{fmt.Sprintf("output %q has no driver", o)}
+		}
+		b.MarkOutput(id)
+	}
+	return b.Build()
+}
+
+// split strips comments and splits the source into ';'-terminated
+// statements ("module ...", "endmodule" are also statements).
+func split(src string) ([]string, error) {
+	var clean strings.Builder
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	inBlock := false
+	for sc.Scan() {
+		line := sc.Text()
+		for {
+			if inBlock {
+				end := strings.Index(line, "*/")
+				if end < 0 {
+					line = ""
+					break
+				}
+				line = line[end+2:]
+				inBlock = false
+			}
+			start := strings.Index(line, "/*")
+			if start < 0 {
+				break
+			}
+			rest := line[start+2:]
+			line = line[:start]
+			end := strings.Index(rest, "*/")
+			if end < 0 {
+				inBlock = true
+			} else {
+				line += rest[end+2:]
+			}
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		clean.WriteString(line)
+		clean.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vlog: read: %w", err)
+	}
+	var stmts []string
+	for _, part := range strings.Split(clean.String(), ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		// "endmodule" has no semicolon; it may be glued to the previous
+		// statement's tail.
+		for _, kw := range []string{"endmodule"} {
+			if strings.HasSuffix(part, kw) && part != kw {
+				stmts = append(stmts, strings.TrimSpace(strings.TrimSuffix(part, kw)))
+				part = kw
+				break
+			}
+		}
+		stmts = append(stmts, part)
+	}
+	return stmts, nil
+}
+
+// parseNameList splits "a, b , c" into identifiers, tolerating the
+// enclosing parens already stripped. Verilog escaped identifiers
+// (backslash prefix, whitespace terminated) are unescaped.
+func parseNameList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "\\")
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// identOK reports whether a name is a plain Verilog identifier.
+func identOK(name string) bool {
+	for i, r := range name {
+		switch {
+		case r == '_' || r == '$':
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return name != ""
+}
+
+// sigName renders a signal name, using an escaped identifier (backslash
+// prefix plus mandatory trailing space) when the name is not a plain
+// identifier.
+func sigName(name string) string {
+	if identOK(name) {
+		return name
+	}
+	return "\\" + name + " "
+}
+
+// Write emits the circuit as a structural Verilog module in topological
+// order.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	var ports []string
+	for _, in := range c.Inputs() {
+		ports = append(ports, sigName(c.GateName(in)))
+	}
+	for _, o := range c.Outputs() {
+		ports = append(ports, sigName(c.GateName(o)))
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", sanitize(c.Name()), strings.Join(ports, ", "))
+	fmt.Fprintf(bw, "  input %s;\n", strings.Join(ports[:c.NumInputs()], ", "))
+	fmt.Fprintf(bw, "  output %s;\n", strings.Join(ports[c.NumInputs():], ", "))
+	var wires []string
+	for id := 0; id < c.NumGates(); id++ {
+		if c.Type(id) != netlist.Input && !c.IsOutput(id) {
+			wires = append(wires, sigName(c.GateName(id)))
+		}
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", strings.Join(wires, ", "))
+	}
+	n := 0
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Type == netlist.Input {
+			continue
+		}
+		prim := strings.ToLower(g.Type.String())
+		if g.Type == netlist.Buf {
+			prim = "buf"
+		}
+		terms := []string{sigName(g.Name)}
+		for _, f := range g.Fanin {
+			terms = append(terms, sigName(c.GateName(f)))
+		}
+		n++
+		fmt.Fprintf(bw, "  %s g%d (%s);\n", prim, n, strings.Join(terms, ", "))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// sanitize keeps module names identifier-shaped.
+func sanitize(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "top"
+	}
+	return b.String()
+}

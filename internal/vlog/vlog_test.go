@@ -1,0 +1,199 @@
+package vlog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+const c17Verilog = `
+// c17 benchmark, structural style
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+
+  nand NAND2_1 (N10, N1, N3);
+  nand NAND2_2 (N11, N3, N6);
+  nand NAND2_3 (N16, N2, N11);
+  nand NAND2_4 (N19, N11, N7);
+  nand NAND2_5 (N22, N10, N16);
+  nand NAND2_6 (N23, N16, N19);
+endmodule
+`
+
+func TestParseC17(t *testing.T) {
+	c, err := Parse(strings.NewReader(c17Verilog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "c17" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if c.NumInputs() != 5 || c.NumOutputs() != 2 || c.NumGates() != 11 {
+		t.Errorf("shape: %v", c)
+	}
+	n16, ok := c.GateByName("N16")
+	if !ok || c.Type(n16) != netlist.Nand {
+		t.Error("N16 missing or wrong type")
+	}
+	// Functional equivalence with the built-in c17 (same structure).
+	ref := gen.C17()
+	for v := 0; v < 32; v++ {
+		for oi := range ref.Outputs() {
+			if evalOut(ref, v, oi) != evalOut(c, v, oi) {
+				t.Fatalf("vector %d output %d differs from reference c17", v, oi)
+			}
+		}
+	}
+}
+
+func evalOut(c *netlist.Circuit, vec, oi int) bool {
+	vals := make([]bool, c.NumGates())
+	for i, in := range c.Inputs() {
+		vals[in] = vec>>uint(i)&1 == 1
+	}
+	buf := make([]bool, 0, 8)
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Type == netlist.Input {
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range g.Fanin {
+			buf = append(buf, vals[f])
+		}
+		vals[id] = g.Type.Eval(buf)
+	}
+	return vals[c.Outputs()[oi]]
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+/* block
+   comment */ module t (a, z); // ports
+  input a;
+  output z;
+  not g1 (z, /* inline */ a);
+endmodule
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 2 {
+		t.Errorf("gates = %d", c.NumGates())
+	}
+}
+
+func TestParseOutOfOrderInstantiations(t *testing.T) {
+	src := `
+module t (a, z);
+  input a;
+  output z;
+  wire m, n;
+  not g3 (z, m);
+  and g2 (m, a, n);
+  not g1 (n, a);
+endmodule
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 4 {
+		t.Errorf("gates = %d", c.NumGates())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no module":     "input a;\n",
+		"no endmodule":  "module t (a, z);\ninput a;\noutput z;\nnot g (z, a);\n",
+		"unsupported":   "module t (a, z);\ninput a;\noutput z;\nalways @(a) z = a;\nendmodule\n",
+		"double driver": "module t (a, z);\ninput a;\noutput z;\nnot g1 (z, a);\nnot g2 (z, a);\nendmodule\n",
+		"undriven out":  "module t (a, z);\ninput a;\noutput z;\nendmodule\n",
+		"loop":          "module t (a, z);\ninput a;\noutput z;\nand g1 (z, a, w);\nnot g2 (w, z);\nendmodule\n",
+		"short inst":    "module t (a, z);\ninput a;\noutput z;\nnot g1 (z);\nendmodule\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	for _, c := range []*netlist.Circuit{
+		gen.C17(),
+		gen.RandomDAG(3, 8, 40, gen.DAGOptions{}),
+		gen.RippleCarryAdder(3),
+		gen.RandomTree(5, 12, gen.TreeOptions{}),
+	} {
+		var sb strings.Builder
+		if err := Write(&sb, c); err != nil {
+			t.Fatalf("%s: write: %v", c.Name(), err)
+		}
+		c2, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", c.Name(), err, sb.String())
+		}
+		if c2.NumGates() != c.NumGates() || c2.NumInputs() != c.NumInputs() || c2.NumOutputs() != c.NumOutputs() {
+			t.Fatalf("%s: shape changed: %v vs %v", c.Name(), c2, c)
+		}
+		limit := 1 << uint(c.NumInputs())
+		if limit > 256 {
+			limit = 256
+		}
+		for v := 0; v < limit; v++ {
+			for oi := range c.Outputs() {
+				if evalOut(c, v, oi) != evalOut(c2, v, oi) {
+					t.Fatalf("%s: vector %d output %d differs after round trip", c.Name(), v, oi)
+				}
+			}
+		}
+	}
+}
+
+func TestSanitizeModuleNames(t *testing.T) {
+	b := netlist.NewBuilder("weird name-1")
+	a := b.Input("a")
+	z := b.NotGate("z", a)
+	b.MarkOutput(z)
+	c := b.MustBuild()
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "module weird_name_1") {
+		t.Errorf("module name not sanitised: %s", sb.String())
+	}
+}
+
+func TestEscapedIdentifiersRoundTrip(t *testing.T) {
+	// c17 signal names are numeric, which forces escaped identifiers.
+	c := gen.C17()
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `\22`) {
+		t.Fatalf("expected escaped identifiers in output:\n%s", sb.String())
+	}
+	c2, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if _, ok := c2.GateByName("22"); !ok {
+		t.Error("escaped identifier did not round-trip to original name")
+	}
+	for v := 0; v < 32; v++ {
+		for oi := range c.Outputs() {
+			if evalOut(c, v, oi) != evalOut(c2, v, oi) {
+				t.Fatalf("vector %d output %d differs after escaped round trip", v, oi)
+			}
+		}
+	}
+}
