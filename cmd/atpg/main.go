@@ -31,16 +31,17 @@ func main() {
 		dominance = flag.Bool("dominance", false, "target the dominance-collapsed fault list")
 		compact   = flag.Bool("compact", false, "apply static reverse-order compaction to the set")
 		verify    = flag.Bool("verify", false, "re-simulate the test set and confirm coverage")
+		doLint    = flag.Bool("lint", false, "statically validate the input circuit and reject on lint errors")
 	)
 	flag.Parse()
-	if err := run(*benchPath, *genSpec, *outPath, *limit, *dominance, *compact, *verify); err != nil {
+	if err := run(*benchPath, *genSpec, *outPath, *limit, *dominance, *compact, *verify, *doLint); err != nil {
 		fmt.Fprintln(os.Stderr, "atpg:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchPath, genSpec, outPath string, limit int, dominance, compact, verify bool) error {
-	c, err := cli.LoadCircuit(benchPath, genSpec)
+func run(benchPath, genSpec, outPath string, limit int, dominance, compact, verify, doLint bool) error {
+	c, err := cli.LoadCircuitChecked(benchPath, genSpec, doLint, os.Stderr)
 	if err != nil {
 		return err
 	}

@@ -7,16 +7,16 @@ import (
 
 func TestRunBasic(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "v.vec")
-	if err := run("", "rca:width=3", out, 5000, false, false, true); err != nil {
+	if err := run("", "rca:width=3", out, 5000, false, false, true, false); err != nil {
 		t.Errorf("plain: %v", err)
 	}
-	if err := run("", "rca:width=3", "", 5000, true, true, true); err != nil {
+	if err := run("", "rca:width=3", "", 5000, true, true, true, false); err != nil {
 		t.Errorf("dominance+compact: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", 100, false, false, false); err == nil {
+	if err := run("", "", "", 100, false, false, false, false); err == nil {
 		t.Error("expected error with no circuit")
 	}
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var malformedBenchCases = []struct {
+	name, src string
+}{
+	{"garbage", "INPUT(a\nOUTPUT z)\nnonsense\n"},
+	{"unknown-gate", "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n"},
+	{"undefined-fanin", "INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n"},
+	{"no-outputs", "INPUT(a)\nz = NOT(a)\n"},
+	{"combinational-loop", "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n"},
+}
+
+func writeBenchFile(t *testing.T, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bad.bench")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMalformedBenchRejected(t *testing.T) {
+	for _, tc := range malformedBenchCases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := writeBenchFile(t, tc.src)
+			if err := run(p, "", "", 100, false, false, false, false); err == nil {
+				t.Errorf("expected error for %s input", tc.name)
+			}
+		})
+	}
+}
+
+func TestLintFlag(t *testing.T) {
+	stuck := writeBenchFile(t, "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nna = NOT(a)\nk = AND(a, na)\nz = OR(b, k)\n")
+	if err := run(stuck, "", "", 100, false, false, false, true); err == nil {
+		t.Error("expected -lint to reject the stuck-constant circuit")
+	}
+	if err := run("", "c17", "", 1000, false, false, false, true); err != nil {
+		t.Errorf("-lint on clean c17: %v", err)
+	}
+}

@@ -22,21 +22,27 @@ func main() {
 		outPath = flag.String("o", "", "output file (default stdout)")
 		format  = flag.String("format", "bench", "bench | verilog | dot")
 		stats   = flag.Bool("stats", false, "print circuit statistics to stderr")
+		doLint  = flag.Bool("lint", false, "statically validate the generated circuit and reject on lint errors")
 	)
 	flag.Parse()
-	if err := run(*genSpec, *outPath, *format, *stats); err != nil {
+	if err := run(*genSpec, *outPath, *format, *stats, *doLint); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(genSpec, outPath, format string, stats bool) error {
+func run(genSpec, outPath, format string, stats, doLint bool) error {
 	if genSpec == "" {
 		return fmt.Errorf("provide -gen <spec>; kinds: c17, tree, dag, cone, parity, rca, cmp, decoder, mul, rpr")
 	}
 	c, err := cli.Generate(genSpec)
 	if err != nil {
 		return err
+	}
+	if doLint {
+		if err := cli.LintCircuit(c, os.Stderr); err != nil {
+			return err
+		}
 	}
 	out := os.Stdout
 	if outPath != "" {

@@ -8,20 +8,20 @@ import (
 func TestRunFormats(t *testing.T) {
 	dir := t.TempDir()
 	for _, f := range []string{"bench", "verilog", "dot"} {
-		if err := run("tree:leaves=8", filepath.Join(dir, "out."+f), f, true); err != nil {
+		if err := run("tree:leaves=8", filepath.Join(dir, "out."+f), f, true, false); err != nil {
 			t.Errorf("format %s: %v", f, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "bench", false); err == nil {
+	if err := run("", "", "bench", false, false); err == nil {
 		t.Error("expected error with no spec")
 	}
-	if err := run("c17", "", "nope", false); err == nil {
+	if err := run("c17", "", "nope", false, false); err == nil {
 		t.Error("expected error for unknown format")
 	}
-	if err := run("bogus", "", "bench", false); err == nil {
+	if err := run("bogus", "", "bench", false, false); err == nil {
 		t.Error("expected error for bad spec")
 	}
 }

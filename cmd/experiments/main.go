@@ -26,16 +26,22 @@ func main() {
 		quick  = flag.Bool("quick", false, "scaled-down workloads")
 		only   = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4)")
 		csvDir = flag.String("csv", "", "directory to write per-table CSV files")
+		doLint = flag.Bool("lint", false, "statically lint the experiment circuits before running")
 	)
 	flag.Parse()
-	if err := run(*quick, *only, *csvDir); err != nil {
+	if err := run(*quick, *only, *csvDir, *doLint); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, only, csvDir string) error {
+func run(quick bool, only, csvDir string, doLint bool) error {
 	cfg := exp.Config{Quick: quick}
+	if doLint {
+		if err := exp.Preflight(cfg, os.Stderr); err != nil {
+			return err
+		}
+	}
 	type entry struct {
 		id string
 		fn func() (exp.Renderable, error)

@@ -7,7 +7,7 @@ import (
 
 func TestRunSubset(t *testing.T) {
 	csv := filepath.Join(t.TempDir(), "csv")
-	if err := run(true, "E2,E7", csv); err != nil {
+	if err := run(true, "E2,E7", csv, true); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -32,16 +32,17 @@ func main() {
 		curve     = flag.Int("curve", 0, "print coverage curve with this step (0 = off)")
 		uncol     = flag.Bool("uncollapsed", false, "simulate the uncollapsed fault universe")
 		hard      = flag.Int("hard", 5, "list up to this many undetected faults with COP estimates")
+		doLint    = flag.Bool("lint", false, "statically validate the input circuit and reject on lint errors")
 	)
 	flag.Parse()
-	if err := run(*benchPath, *genSpec, *patterns, *seed, *source, *vecPath, *curve, *uncol, *hard); err != nil {
+	if err := run(*benchPath, *genSpec, *patterns, *seed, *source, *vecPath, *curve, *uncol, *hard, *doLint); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchPath, genSpec string, patterns int, seed uint64, source, vecPath string, curve int, uncol bool, hard int) error {
-	c, err := cli.LoadCircuit(benchPath, genSpec)
+func run(benchPath, genSpec string, patterns int, seed uint64, source, vecPath string, curve int, uncol bool, hard int, doLint bool) error {
+	c, err := cli.LoadCircuitChecked(benchPath, genSpec, doLint, os.Stderr)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,134 @@
+// Command lint runs the static netlist analyzer over one or more
+// circuits and reports findings: structural hygiene defects, lines proven
+// constant (and the stuck-at faults they make untestable), duplicated
+// cones, COP-ranked random-pattern-resistant stems, and the fanout-free /
+// reconvergence structure that decides which TPI planner applies.
+//
+// Inputs are positional netlist paths (.bench, or .v/.sv structural
+// Verilog) and/or the usual -bench / -gen flags. The exit code is 0 when
+// every circuit is clean at the -fail severity, 1 when any finding
+// reaches it (default: error), and 2 on bad usage or unreadable input.
+//
+// Examples:
+//
+//	lint testdata/lint/stuck.bench
+//	lint -json testdata/c17.bench
+//	lint -gen rpr:cones=3,width=14 -severity info -top 10
+//	lint -fail warning *.bench
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "", "input .bench netlist (alternative to positional paths)")
+		genSpec   = flag.String("gen", "", "generator spec (see internal/cli)")
+		jsonOut   = flag.Bool("json", false, "emit findings as JSON")
+		sevName   = flag.String("severity", "info", "minimum severity to report: info | warning | error")
+		failName  = flag.String("fail", "error", "minimum severity that fails the run: info | warning | error")
+		top       = flag.Int("top", 0, "hard-stem findings to report (0 = default 5, negative = off)")
+		hardTh    = flag.Float64("hard", 0, "COP detect-prob threshold for hard stems (0 = default 1e-3)")
+		maxFanout = flag.Int("max-fanout", 0, "flag signals with fanout above this (0 = default 64, negative = off)")
+		maxDepth  = flag.Int("max-depth", 0, "flag circuits deeper than this (0 = default 512, negative = off)")
+	)
+	flag.Parse()
+	failed, err := run(os.Stdout, *benchPath, *genSpec, flag.Args(), *jsonOut, *sevName, *failName, lint.Options{
+		MaxFanout:     *maxFanout,
+		MaxDepth:      *maxDepth,
+		HardThreshold: *hardTh,
+		TopStems:      *top,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// jsonReport is the stable JSON shape emitted per circuit.
+type jsonReport struct {
+	Circuit  string         `json:"circuit"`
+	Errors   int            `json:"errors"`
+	Warnings int            `json:"warnings"`
+	Infos    int            `json:"infos"`
+	Findings []lint.Finding `json:"findings"`
+}
+
+// run lints every requested circuit and reports whether any finding
+// reached the failure severity.
+func run(w io.Writer, benchPath, genSpec string, paths []string, jsonOut bool, sevName, failName string, opts lint.Options) (bool, error) {
+	minSev, err := lint.ParseSeverity(sevName)
+	if err != nil {
+		return false, err
+	}
+	failSev, err := lint.ParseSeverity(failName)
+	if err != nil {
+		return false, err
+	}
+	if benchPath == "" && genSpec == "" && len(paths) == 0 {
+		return false, fmt.Errorf("provide netlist paths, -bench <file> or -gen <spec>")
+	}
+
+	var reports []*lint.Report
+	if benchPath != "" || genSpec != "" {
+		c, err := cli.LoadCircuit(benchPath, genSpec)
+		if err != nil {
+			return false, err
+		}
+		reports = append(reports, lint.Analyze(c, opts))
+	}
+	for _, p := range paths {
+		c, err := cli.LoadCircuit(p, "")
+		if err != nil {
+			return false, err
+		}
+		reports = append(reports, lint.Analyze(c, opts))
+	}
+
+	failed := false
+	var jsonReports []jsonReport
+	for _, rep := range reports {
+		if s, ok := rep.MaxSeverity(); ok && s >= failSev {
+			failed = true
+		}
+		counts := rep.CountBySeverity()
+		if jsonOut {
+			findings := rep.Filter(minSev)
+			if findings == nil {
+				findings = []lint.Finding{}
+			}
+			jsonReports = append(jsonReports, jsonReport{
+				Circuit:  rep.Circuit,
+				Errors:   counts[lint.Error],
+				Warnings: counts[lint.Warning],
+				Infos:    counts[lint.Info],
+				Findings: findings,
+			})
+			continue
+		}
+		fmt.Fprintf(w, "%s: %d finding(s): %d error(s), %d warning(s), %d info\n",
+			rep.Circuit, len(rep.Findings), counts[lint.Error], counts[lint.Warning], counts[lint.Info])
+		for _, f := range rep.Filter(minSev) {
+			fmt.Fprintf(w, "  %s\n", f)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReports); err != nil {
+			return false, err
+		}
+	}
+	return failed, nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+const fixtureDir = "../../testdata/lint"
+
+func runText(t *testing.T, path string) (string, bool) {
+	t.Helper()
+	var sb strings.Builder
+	failed, err := run(&sb, "", "", []string{path}, false, "info", "error", lint.Options{})
+	if err != nil {
+		t.Fatalf("run %s: %v", path, err)
+	}
+	return sb.String(), failed
+}
+
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		file     string
+		wantRule string
+		wantFail bool
+	}{
+		{"clean.bench", "", false},
+		{"stuck.bench", lint.RuleConstantLine, true},
+		{"dupcone.bench", lint.RuleDuplicateCone, false},
+		{"undriven.bench", lint.RuleUnusedInput, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			out, failed := runText(t, filepath.Join(fixtureDir, tc.file))
+			if failed != tc.wantFail {
+				t.Errorf("failed = %v, want %v\n%s", failed, tc.wantFail, out)
+			}
+			if tc.wantRule != "" && !strings.Contains(out, tc.wantRule) {
+				t.Errorf("output missing rule %s:\n%s", tc.wantRule, out)
+			}
+		})
+	}
+}
+
+func TestCleanFixtureHasNoWarnings(t *testing.T) {
+	out, _ := runText(t, filepath.Join(fixtureDir, "clean.bench"))
+	if strings.Contains(out, "  warning") || strings.Contains(out, "  error") {
+		t.Errorf("clean fixture should produce only info findings:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	failed, err := run(&sb, "", "", []string{filepath.Join(fixtureDir, "stuck.bench")}, true, "info", "error", lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("stuck fixture must fail at -fail error")
+	}
+	var reports []struct {
+		Circuit  string         `json:"circuit"`
+		Errors   int            `json:"errors"`
+		Findings []lint.Finding `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &reports); err != nil {
+		t.Fatalf("JSON output does not parse: %v\n%s", err, sb.String())
+	}
+	if len(reports) != 1 || reports[0].Circuit != "stuck" || reports[0].Errors == 0 {
+		t.Fatalf("unexpected report shape: %+v", reports)
+	}
+	found := false
+	for _, f := range reports[0].Findings {
+		if f.Rule == lint.RuleConstantLine && f.Severity == lint.Error && f.Name == "k" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("JSON output missing %s on signal k:\n%s", lint.RuleConstantLine, sb.String())
+	}
+}
+
+func TestFailSeverityFlag(t *testing.T) {
+	var sb strings.Builder
+	failed, err := run(&sb, "", "", []string{filepath.Join(fixtureDir, "undriven.bench")}, false, "info", "warning", lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("undriven fixture must fail at -fail warning")
+	}
+}
+
+func TestGenSpecAndMultipleInputs(t *testing.T) {
+	var sb strings.Builder
+	failed, err := run(&sb, "", "c17", []string{filepath.Join(fixtureDir, "clean.bench")}, false, "info", "error", lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Errorf("clean inputs must not fail:\n%s", sb.String())
+	}
+	if got := strings.Count(sb.String(), "finding(s)"); got != 2 {
+		t.Errorf("expected 2 report headers, got %d:\n%s", got, sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, "", "", nil, false, "info", "error", lint.Options{}); err == nil {
+		t.Error("expected error with no inputs")
+	}
+	if _, err := run(&sb, "", "", []string{"no/such/file.bench"}, false, "info", "error", lint.Options{}); err == nil {
+		t.Error("expected error for missing file")
+	}
+	if _, err := run(&sb, "", "c17", nil, false, "frob", "error", lint.Options{}); err == nil {
+		t.Error("expected error for bad severity name")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.bench")
+	if err := os.WriteFile(bad, []byte("z = FROB(a)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(&sb, "", "", []string{bad}, false, "info", "error", lint.Options{}); err == nil {
+		t.Error("expected error for malformed bench input")
+	}
+}

@@ -41,16 +41,17 @@ func main() {
 		patterns  = flag.Int("patterns", 32768, "random patterns for validation")
 		seed      = flag.Uint64("seed", 0xbadc0de, "LFSR seed for validation")
 		outPath   = flag.String("o", "", "write the modified circuit as .bench")
+		doLint    = flag.Bool("lint", false, "statically validate the input circuit and reject on lint errors")
 	)
 	flag.Parse()
-	if err := run(*benchPath, *genSpec, *mode, *planner, *k, *nCP, *nOP, *dth, *patterns, *seed, *outPath); err != nil {
+	if err := run(*benchPath, *genSpec, *mode, *planner, *k, *nCP, *nOP, *dth, *patterns, *seed, *outPath, *doLint); err != nil {
 		fmt.Fprintln(os.Stderr, "tpi:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchPath, genSpec, mode, planner string, k, nCP, nOP int, dth float64, patterns int, seed uint64, outPath string) error {
-	c, err := cli.LoadCircuit(benchPath, genSpec)
+func run(benchPath, genSpec, mode, planner string, k, nCP, nOP int, dth float64, patterns int, seed uint64, outPath string, doLint bool) error {
+	c, err := cli.LoadCircuitChecked(benchPath, genSpec, doLint, os.Stderr)
 	if err != nil {
 		return err
 	}

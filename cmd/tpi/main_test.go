@@ -23,23 +23,23 @@ func TestRunModes(t *testing.T) {
 			gen = "cone:width=8"
 		}
 		out := filepath.Join(t.TempDir(), "out.bench")
-		if err := run("", gen, tc.mode, tc.planner, 2, 1, 1, 0, 256, 1, out); err != nil {
+		if err := run("", gen, tc.mode, tc.planner, 2, 1, 1, 0, 256, 1, out, false); err != nil {
 			t.Errorf("mode %s planner %s: %v", tc.mode, tc.planner, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "cuts", "dp", 2, 0, 0, 0, 64, 1, ""); err == nil {
+	if err := run("", "", "cuts", "dp", 2, 0, 0, 0, 64, 1, "", false); err == nil {
 		t.Error("expected error with no circuit source")
 	}
-	if err := run("", "c17", "frob", "dp", 2, 0, 0, 0, 64, 1, ""); err == nil {
+	if err := run("", "c17", "frob", "dp", 2, 0, 0, 0, 64, 1, "", false); err == nil {
 		t.Error("expected error for unknown mode")
 	}
-	if err := run("", "c17", "cuts", "frob", 2, 0, 0, 0, 64, 1, ""); err == nil {
+	if err := run("", "c17", "cuts", "frob", 2, 0, 0, 0, 64, 1, "", false); err == nil {
 		t.Error("expected error for unknown planner")
 	}
-	if err := run("", "c17", "cuts", "dp", 2, 0, 0, 0, 64, 1, ""); err == nil {
+	if err := run("", "c17", "cuts", "dp", 2, 0, 0, 0, 64, 1, "", false); err == nil {
 		t.Error("expected error planning cuts on reconvergent c17")
 	}
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// malformedBenchCases is the shared table of broken .bench inputs every
+// tool must reject with a non-nil error (main turns that into a non-zero
+// exit on stderr).
+var malformedBenchCases = []struct {
+	name, src string
+}{
+	{"garbage", "INPUT(a\nOUTPUT z)\nnonsense\n"},
+	{"unknown-gate", "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n"},
+	{"undefined-fanin", "INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n"},
+	{"no-outputs", "INPUT(a)\nz = NOT(a)\n"},
+	{"combinational-loop", "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n"},
+}
+
+func writeBenchFile(t *testing.T, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bad.bench")
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMalformedBenchRejected(t *testing.T) {
+	for _, tc := range malformedBenchCases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := writeBenchFile(t, tc.src)
+			if err := run(p, "", "hybrid", "dp", 2, 1, 1, 0, 64, 1, "", false); err == nil {
+				t.Errorf("expected error for %s input", tc.name)
+			}
+		})
+	}
+}
+
+func TestLintRejectsStuckCircuit(t *testing.T) {
+	p := writeBenchFile(t, "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nna = NOT(a)\nk = AND(a, na)\nz = OR(b, k)\n")
+	if err := run(p, "", "hybrid", "dp", 2, 1, 1, 0, 64, 1, "", true); err == nil {
+		t.Error("expected -lint to reject the stuck-constant circuit")
+	}
+	if err := run(p, "", "hybrid", "dp", 2, 1, 1, 0, 64, 1, "", false); err != nil {
+		t.Errorf("without -lint the circuit should still load: %v", err)
+	}
+}

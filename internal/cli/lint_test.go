@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestLintCircuitCleanAndBroken(t *testing.T) {
+	var sb strings.Builder
+	if err := LintCircuit(gen.C17(), &sb); err != nil {
+		t.Errorf("c17 must pass lint: %v", err)
+	}
+
+	dir := t.TempDir()
+	stuck := filepath.Join(dir, "stuck.bench")
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nna = NOT(a)\nk = AND(a, na)\nz = OR(b, k)\n"
+	if err := os.WriteFile(stuck, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sb.Reset()
+	if _, err := LoadCircuitChecked(stuck, "", true, &sb); err == nil {
+		t.Error("expected lint rejection of the stuck-constant circuit")
+	}
+	if !strings.Contains(sb.String(), "C001") {
+		t.Errorf("warning stream missing the constant-line rule: %q", sb.String())
+	}
+
+	// Without lint the same file loads fine.
+	if _, err := LoadCircuitChecked(stuck, "", false, &sb); err != nil {
+		t.Errorf("load without lint: %v", err)
+	}
+}

@@ -1,0 +1,31 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// TestGeneratorsProduceValidCircuits runs every generator and re-checks
+// the netlist structural invariants on its output.
+func TestGeneratorsProduceValidCircuits(t *testing.T) {
+	circuits := map[string]*netlist.Circuit{
+		"c17":     C17(),
+		"tree":    RandomTree(3, 60, TreeOptions{}),
+		"dag":     RandomDAG(5, 12, 150, DAGOptions{}),
+		"cone":    AndCone(16),
+		"parity":  ParityTree(16),
+		"rca":     RippleCarryAdder(8),
+		"cmp":     Comparator(8),
+		"decoder": Decoder(4),
+		"mul":     Multiplier(5),
+		"rpr":     RPResistant(2, 3, 10, 60),
+		"bshift":  BarrelShifter(8),
+		"alu":     ALUSlice(6),
+	}
+	for name, c := range circuits {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/testability"
+)
+
+// checkHotspots ranks FFR stems by COP-estimated random-pattern
+// resistance: for every stem, the hardest collapsed fault inside its
+// fanout-free region. No simulation is run — this is the analytic
+// forward/backward COP pass from internal/testability, so the score is
+// exact on fanout-free circuits and a standard estimate under
+// reconvergence. The reported stems are precisely the candidates the TPI
+// planners (cmd/tpi -mode observe/hybrid) should target.
+func checkHotspots(c *netlist.Circuit, opts Options, r *Report) {
+	if opts.TopStems < 0 {
+		return
+	}
+	co := testability.NewCOP(c, testability.COPOptions{InputProb: opts.InputProb})
+	region := c.RegionOf()
+
+	type stemScore struct {
+		stem  int
+		prob  float64
+		worst fault.Fault
+	}
+	byStem := make(map[int]*stemScore)
+	for _, f := range fault.CollapsedUniverse(c) {
+		stem := region[f.Gate]
+		dp := co.DetectProb(f)
+		s, ok := byStem[stem]
+		if !ok {
+			byStem[stem] = &stemScore{stem: stem, prob: dp, worst: f}
+		} else if dp < s.prob {
+			s.prob, s.worst = dp, f
+		}
+	}
+
+	hard := make([]*stemScore, 0, len(byStem))
+	for _, s := range byStem {
+		if s.prob < opts.HardThreshold {
+			hard = append(hard, s)
+		}
+	}
+	sort.Slice(hard, func(i, j int) bool {
+		if hard[i].prob != hard[j].prob {
+			return hard[i].prob < hard[j].prob
+		}
+		return hard[i].stem < hard[j].stem
+	})
+	if len(hard) > opts.TopStems {
+		hard = hard[:opts.TopStems]
+	}
+	for _, s := range hard {
+		r.Findings = append(r.Findings, Finding{
+			Rule:     RuleHardStem,
+			Severity: Info,
+			Signal:   s.stem,
+			Name:     c.GateName(s.stem),
+			Message: fmt.Sprintf("FFR stem is random-pattern resistant: hardest fault %s has COP detect prob %.3e (~%.3g patterns for 99%% confidence)",
+				s.worst.Name(c), s.prob, testability.TestLength(s.prob, 0.99)),
+			Hint: "candidate test point; try cmd/tpi -mode observe or -mode hybrid",
+		})
+	}
+}

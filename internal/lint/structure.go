@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// checkStructure reports the fanout-free decomposition and whether the
+// circuit has reconvergent fanout — the structural property that decides
+// which planner applies: Krishnamurthy's cut DP is exact on fanout-free
+// circuits, while reconvergence makes optimal insertion NP-complete and
+// sends the planners to the per-FFR heuristics.
+func checkStructure(c *netlist.Circuit, r *Report) {
+	ffrs := c.FFRs()
+	largest, largestStem := 0, -1
+	stems := 0
+	for _, f := range ffrs {
+		if len(f.Gates) > largest {
+			largest, largestStem = len(f.Gates), f.Stem
+		}
+		stems++
+	}
+	msg := fmt.Sprintf("%d fanout-free regions over %d gates", stems, c.NumGates())
+	if largestStem >= 0 {
+		msg += fmt.Sprintf("; largest has %d gates (stem %s)", largest, c.GateName(largestStem))
+	}
+	r.Findings = append(r.Findings, Finding{
+		Rule:     RuleFFRSummary,
+		Severity: Info,
+		Signal:   -1,
+		Message:  msg,
+	})
+
+	if c.IsFanoutFree() {
+		r.Findings = append(r.Findings, Finding{
+			Rule:     RuleReconvergence,
+			Severity: Info,
+			Signal:   -1,
+			Message:  "circuit is fanout-free: the exact cut DP applies and is optimal",
+			Hint:     "use cmd/tpi -mode cuts -planner dp",
+		})
+	} else if c.HasReconvergentFanout() {
+		r.Findings = append(r.Findings, Finding{
+			Rule:     RuleReconvergence,
+			Severity: Info,
+			Signal:   -1,
+			Message:  "reconvergent fanout present: optimal test point insertion is NP-complete here",
+			Hint:     "planners fall back to per-FFR heuristics; expect approximate placements",
+		})
+	} else {
+		r.Findings = append(r.Findings, Finding{
+			Rule:     RuleReconvergence,
+			Severity: Info,
+			Signal:   -1,
+			Message:  "fanout present but no branch reconverges: COP estimates are exact",
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package netlist
+
+import "fmt"
+
+// Validate re-checks the structural invariants that newCircuit
+// establishes at build time: gate/fanin well-formedness, fanin/fanout
+// symmetry, topological-order and level consistency (which together imply
+// acyclicity), and the input/output bookkeeping. A freshly built Circuit
+// always passes; the method exists so the lint pass and tests can confirm
+// the invariants still hold after rewrite pipelines (transform.go,
+// internal/opt) that rebuild circuits, catching any future rewrite bug at
+// its source instead of deep inside a simulator.
+func (c *Circuit) Validate() error {
+	n := len(c.gates)
+
+	// Gates: types, names, arity, fanin ranges, name index.
+	if len(c.byName) != n {
+		return fmt.Errorf("netlist: name index has %d entries for %d gates", len(c.byName), n)
+	}
+	inputs := 0
+	for id, g := range c.gates {
+		if !g.Type.Valid() {
+			return fmt.Errorf("netlist: gate %d (%q): invalid type", id, g.Name)
+		}
+		if g.Name == "" {
+			return fmt.Errorf("netlist: gate %d: empty name", id)
+		}
+		if got, ok := c.byName[g.Name]; !ok || got != id {
+			return fmt.Errorf("netlist: name index maps %q to %d, want %d", g.Name, got, id)
+		}
+		if cnt, min, max := len(g.Fanin), g.Type.MinFanin(), g.Type.MaxFanin(); cnt < min || (max >= 0 && cnt > max) {
+			return fmt.Errorf("netlist: gate %q (%s): fanin count %d out of range", g.Name, g.Type, cnt)
+		}
+		for pin, f := range g.Fanin {
+			if f < 0 || f >= n {
+				return fmt.Errorf("netlist: gate %q pin %d: fanin id %d out of range", g.Name, pin, f)
+			}
+		}
+		if g.Type == Input {
+			inputs++
+		}
+	}
+
+	// Input list: exactly the Input-typed gates, in ascending ID order.
+	if len(c.inputs) != inputs {
+		return fmt.Errorf("netlist: input list has %d entries, circuit has %d Input gates", len(c.inputs), inputs)
+	}
+	prev := -1
+	for _, id := range c.inputs {
+		if id <= prev || id >= n || c.gates[id].Type != Input {
+			return fmt.Errorf("netlist: input list entry %d is not a fresh Input gate", id)
+		}
+		prev = id
+	}
+
+	// Output list and flags.
+	if len(c.outputs) == 0 {
+		return fmt.Errorf("netlist: circuit has no primary outputs")
+	}
+	if len(c.isOutput) != n {
+		return fmt.Errorf("netlist: output flag slice has %d entries for %d gates", len(c.isOutput), n)
+	}
+	marked := 0
+	seen := make(map[int]bool, len(c.outputs))
+	for _, o := range c.outputs {
+		if o < 0 || o >= n {
+			return fmt.Errorf("netlist: output id %d out of range", o)
+		}
+		if seen[o] {
+			return fmt.Errorf("netlist: output id %d listed twice", o)
+		}
+		seen[o] = true
+		if !c.isOutput[o] {
+			return fmt.Errorf("netlist: output id %d not flagged", o)
+		}
+	}
+	for id, f := range c.isOutput {
+		if f {
+			marked++
+			if !seen[id] {
+				return fmt.Errorf("netlist: gate %d flagged as output but not listed", id)
+			}
+		}
+	}
+	if marked != len(c.outputs) {
+		return fmt.Errorf("netlist: %d gates flagged as outputs, %d listed", marked, len(c.outputs))
+	}
+
+	// Fanin/fanout symmetry: the fanout lists must be exactly the
+	// transpose of the fanin lists, with one entry per consuming pin, in
+	// gate-ID order (the order newCircuit builds them in).
+	if len(c.fanout) != n {
+		return fmt.Errorf("netlist: fanout table has %d entries for %d gates", len(c.fanout), n)
+	}
+	want := make([][]int, n)
+	for id, g := range c.gates {
+		for _, f := range g.Fanin {
+			want[f] = append(want[f], id)
+		}
+	}
+	for id := range want {
+		if len(want[id]) != len(c.fanout[id]) {
+			return fmt.Errorf("netlist: signal %d: fanout count %d, transpose of fanin gives %d",
+				id, len(c.fanout[id]), len(want[id]))
+		}
+		for i, s := range want[id] {
+			if c.fanout[id][i] != s {
+				return fmt.Errorf("netlist: signal %d: fanout entry %d is %d, transpose of fanin gives %d",
+					id, i, c.fanout[id][i], s)
+			}
+		}
+	}
+
+	// Topological order: a permutation in which every gate follows all of
+	// its fanins. Together with the fanin range checks this implies the
+	// circuit is acyclic.
+	if len(c.order) != n {
+		return fmt.Errorf("netlist: topo order has %d entries for %d gates", len(c.order), n)
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, id := range c.order {
+		if id < 0 || id >= n {
+			return fmt.Errorf("netlist: topo order entry %d out of range", id)
+		}
+		if pos[id] != -1 {
+			return fmt.Errorf("netlist: gate %d appears twice in topo order", id)
+		}
+		pos[id] = i
+	}
+	for id, g := range c.gates {
+		for _, f := range g.Fanin {
+			if pos[f] >= pos[id] {
+				return fmt.Errorf("netlist: topo order places gate %d before its fanin %d", id, f)
+			}
+		}
+	}
+
+	// Levels: 0 for fanin-free gates, 1 + max(fanin levels) otherwise.
+	if len(c.level) != n {
+		return fmt.Errorf("netlist: level slice has %d entries for %d gates", len(c.level), n)
+	}
+	for id, g := range c.gates {
+		want := 0
+		for _, f := range g.Fanin {
+			if l := c.level[f] + 1; l > want {
+				want = l
+			}
+		}
+		if c.level[id] != want {
+			return fmt.Errorf("netlist: gate %d has level %d, want %d", id, c.level[id], want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// validateTestCircuit builds a small reconvergent circuit with every gate
+// type represented.
+func validateTestCircuit(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("val")
+	a := b.Input("a")
+	bb := b.Input("b")
+	cc := b.Input("c")
+	n1 := b.NandGate("n1", a, bb)
+	n2 := b.NorGate("n2", bb, cc)
+	x := b.XorGate("x", n1, n2)
+	inv := b.NotGate("inv", n1)
+	buf := b.BufGate("buf", inv)
+	z1 := b.AndGate("z1", x, buf)
+	z2 := b.XnorGate("z2", x, cc)
+	z3 := b.OrGate("z3", z1, z2)
+	b.MarkOutput(z3)
+	b.MarkOutput(z2)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidateFreshCircuit(t *testing.T) {
+	if err := validateTestCircuit(t).Validate(); err != nil {
+		t.Errorf("freshly built circuit must validate: %v", err)
+	}
+}
+
+// TestValidateAfterTransforms re-checks the invariants on the outputs of
+// every netlist rewrite: test point insertion of each kind and XOR
+// expansion.
+func TestValidateAfterTransforms(t *testing.T) {
+	c := validateTestCircuit(t)
+	n1, _ := c.GateByName("n1")
+	x, _ := c.GateByName("x")
+	for _, kind := range []TestPointKind{Observe, Control0, Control1, FullCut} {
+		mod, err := c.InsertTestPoints([]TestPoint{{Signal: n1, Kind: kind}, {Signal: x, Kind: Observe}})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := mod.Validate(); err != nil {
+			t.Errorf("after inserting %v: %v", kind, err)
+		}
+	}
+	exp, err := c.ExpandXor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Validate(); err != nil {
+		t.Errorf("after ExpandXor: %v", err)
+	}
+}
+
+// TestValidateCatchesCorruption tampers with each private invariant in
+// turn and asserts Validate reports it. Each case gets a fresh circuit.
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(c *Circuit)
+		wantSub string
+	}{
+		{"level", func(c *Circuit) { c.level[len(c.level)-1] += 3 }, "level"},
+		{"topo-order", func(c *Circuit) {
+			c.order[0], c.order[len(c.order)-1] = c.order[len(c.order)-1], c.order[0]
+		}, "topo order"},
+		{"topo-dup", func(c *Circuit) { c.order[1] = c.order[0] }, "twice"},
+		{"fanout-missing", func(c *Circuit) {
+			for id := range c.fanout {
+				if len(c.fanout[id]) > 0 {
+					c.fanout[id] = c.fanout[id][:len(c.fanout[id])-1]
+					break
+				}
+			}
+		}, "fanout"},
+		{"name-index", func(c *Circuit) {
+			c.byName[c.gates[0].Name] = 1
+			c.byName[c.gates[1].Name] = 0
+		}, "name index"},
+		{"output-flag", func(c *Circuit) {
+			for id := range c.isOutput {
+				if !c.isOutput[id] {
+					c.isOutput[id] = true
+					break
+				}
+			}
+		}, "output"},
+		{"output-list", func(c *Circuit) { c.outputs = append(c.outputs, c.outputs[0]) }, "output"},
+		{"input-list", func(c *Circuit) { c.inputs = c.inputs[:len(c.inputs)-1] }, "input"},
+		{"gate-name", func(c *Circuit) { c.gates[2].Name = "" }, "name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := validateTestCircuit(t)
+			tc.corrupt(c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}

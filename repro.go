@@ -36,6 +36,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/gen"
+	"repro/internal/lint"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/npc"
@@ -116,6 +117,33 @@ type OptimizeStats = opt.Stats
 func Equivalent(a, b *Circuit) (bool, *eqcheck.Counterexample, error) {
 	return eqcheck.Equal(a, b, eqcheck.Options{})
 }
+
+// LintReport is the result of a static-analysis run over a circuit.
+type LintReport = lint.Report
+
+// LintFinding is one static-analysis diagnostic.
+type LintFinding = lint.Finding
+
+// LintOptions configures the static analyzer; the zero value runs every
+// pass with the default thresholds.
+type LintOptions = lint.Options
+
+// LintSeverity grades a lint finding.
+type LintSeverity = lint.Severity
+
+// Lint severities.
+const (
+	LintInfo    = lint.Info
+	LintWarning = lint.Warning
+	LintError   = lint.Error
+)
+
+// Lint statically analyzes the circuit without simulating a single
+// pattern: structural hygiene, proven-constant lines (and the stuck-at
+// faults they make untestable), duplicated cones, COP-ranked
+// random-pattern-resistant stems, and the fanout-free / reconvergence
+// structure that decides which planner applies. See cmd/lint for the CLI.
+func Lint(c *Circuit, opts LintOptions) *LintReport { return lint.Analyze(c, opts) }
 
 // ScanDesign is a full-scan design: a combinational core plus scanned
 // flip-flops and a test-time model.

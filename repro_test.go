@@ -104,3 +104,44 @@ func TestFacadeSetCoverReduction(t *testing.T) {
 		t.Error("full cover must be feasible")
 	}
 }
+
+// TestFacadeLint exercises the static-analysis entry point: c17 is clean,
+// a hand-built stuck-constant circuit is rejected, and the untestable
+// fault it reports is confirmed redundant by PODEM through the facade.
+func TestFacadeLint(t *testing.T) {
+	if rep := Lint(C17(), LintOptions{}); rep.HasErrors() {
+		t.Errorf("c17 must lint clean: %v", rep.Findings)
+	}
+
+	b := NewBuilder("stuck")
+	a := b.Input("a")
+	bb := b.Input("b")
+	na := b.NotGate("na", a)
+	k := b.AndGate("k", a, na)
+	z := b.OrGate("z", bb, k)
+	b.MarkOutput(z)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("built circuit must validate: %v", err)
+	}
+	rep := Lint(c, LintOptions{})
+	if !rep.HasErrors() {
+		t.Fatalf("expected an error-severity finding: %v", rep.Findings)
+	}
+	un := rep.Untestable()
+	if len(un) == 0 {
+		t.Fatal("expected an untestable fault")
+	}
+	for _, f := range un {
+		res, err := GenerateTest(c, f, ATPGOptions{BacktrackLimit: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status.String() != "redundant" {
+			t.Errorf("fault %s: PODEM says %s, lint claims untestable", f.Name(c), res.Status)
+		}
+	}
+}
