@@ -23,9 +23,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/cli"
+	"repro/internal/implic"
 	"repro/internal/lint"
+	"repro/internal/netlist"
 )
 
 func main() {
@@ -39,13 +42,23 @@ func main() {
 		hardTh    = flag.Float64("hard", 0, "COP detect-prob threshold for hard stems (0 = default 1e-3)")
 		maxFanout = flag.Int("max-fanout", 0, "flag signals with fanout above this (0 = default 64, negative = off)")
 		maxDepth  = flag.Int("max-depth", 0, "flag circuits deeper than this (0 = default 512, negative = off)")
+		implics   = flag.Bool("implications", false, "summarise the static implication engine per circuit (learned implications, constants, dominators, redundant faults)")
 	)
 	flag.Parse()
-	failed, err := run(os.Stdout, *benchPath, *genSpec, flag.Args(), *jsonOut, *sevName, *failName, lint.Options{
-		MaxFanout:     *maxFanout,
-		MaxDepth:      *maxDepth,
-		HardThreshold: *hardTh,
-		TopStems:      *top,
+	failed, err := run(os.Stdout, config{
+		benchPath:    *benchPath,
+		genSpec:      *genSpec,
+		paths:        flag.Args(),
+		jsonOut:      *jsonOut,
+		sevName:      *sevName,
+		failName:     *failName,
+		implications: *implics,
+		opts: lint.Options{
+			MaxFanout:     *maxFanout,
+			MaxDepth:      *maxDepth,
+			HardThreshold: *hardTh,
+			TopStems:      *top,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lint:", err)
@@ -56,65 +69,117 @@ func main() {
 	}
 }
 
+// config gathers one invocation's settings.
+type config struct {
+	benchPath, genSpec string
+	paths              []string
+	jsonOut            bool
+	sevName, failName  string
+	implications       bool
+	opts               lint.Options
+}
+
 // jsonReport is the stable JSON shape emitted per circuit.
 type jsonReport struct {
-	Circuit  string         `json:"circuit"`
-	Errors   int            `json:"errors"`
-	Warnings int            `json:"warnings"`
-	Infos    int            `json:"infos"`
-	Findings []lint.Finding `json:"findings"`
+	Circuit  string            `json:"circuit"`
+	Errors   int               `json:"errors"`
+	Warnings int               `json:"warnings"`
+	Infos    int               `json:"infos"`
+	Findings []lint.Finding    `json:"findings"`
+	Implic   *jsonImplications `json:"implications,omitempty"`
+}
+
+// jsonImplications summarises one circuit's implication engine run.
+type jsonImplications struct {
+	Gates        int             `json:"gates"`
+	Implications int             `json:"implications"`
+	Learned      int             `json:"learned"`
+	Dead         int             `json:"dead"`
+	Dominated    int             `json:"dominated"`
+	Constants    []string        `json:"constants,omitempty"`
+	Redundant    []jsonRedundant `json:"redundant,omitempty"`
+}
+
+// jsonRedundant is one statically-proven-untestable fault.
+type jsonRedundant struct {
+	Fault  string `json:"fault"`
+	Reason string `json:"reason"`
+}
+
+// analyzed pairs a report with the circuit it came from, which the
+// implication summary needs.
+type analyzed struct {
+	c   *netlist.Circuit
+	rep *lint.Report
 }
 
 // run lints every requested circuit and reports whether any finding
 // reached the failure severity.
-func run(w io.Writer, benchPath, genSpec string, paths []string, jsonOut bool, sevName, failName string, opts lint.Options) (bool, error) {
-	minSev, err := lint.ParseSeverity(sevName)
+func run(w io.Writer, cfg config) (bool, error) {
+	minSev, err := lint.ParseSeverity(cfg.sevName)
 	if err != nil {
 		return false, err
 	}
-	failSev, err := lint.ParseSeverity(failName)
+	failSev, err := lint.ParseSeverity(cfg.failName)
 	if err != nil {
 		return false, err
 	}
-	if benchPath == "" && genSpec == "" && len(paths) == 0 {
+	if cfg.benchPath == "" && cfg.genSpec == "" && len(cfg.paths) == 0 {
 		return false, fmt.Errorf("provide netlist paths, -bench <file> or -gen <spec>")
 	}
 
-	var reports []*lint.Report
-	if benchPath != "" || genSpec != "" {
-		c, err := cli.LoadCircuit(benchPath, genSpec)
+	var circuits []analyzed
+	if cfg.benchPath != "" || cfg.genSpec != "" {
+		c, err := cli.LoadCircuit(cfg.benchPath, cfg.genSpec)
 		if err != nil {
 			return false, err
 		}
-		reports = append(reports, lint.Analyze(c, opts))
+		circuits = append(circuits, analyzed{c, lint.Analyze(c, cfg.opts)})
 	}
-	for _, p := range paths {
+	for _, p := range cfg.paths {
 		c, err := cli.LoadCircuit(p, "")
 		if err != nil {
 			return false, err
 		}
-		reports = append(reports, lint.Analyze(c, opts))
+		circuits = append(circuits, analyzed{c, lint.Analyze(c, cfg.opts)})
 	}
 
 	failed := false
 	var jsonReports []jsonReport
-	for _, rep := range reports {
+	for _, a := range circuits {
+		rep := a.rep
 		if s, ok := rep.MaxSeverity(); ok && s >= failSev {
 			failed = true
 		}
 		counts := rep.CountBySeverity()
-		if jsonOut {
+		var impl *implicSummary
+		if cfg.implications {
+			impl = summarizeImplications(a.c)
+		}
+		if cfg.jsonOut {
 			findings := rep.Filter(minSev)
 			if findings == nil {
 				findings = []lint.Finding{}
 			}
-			jsonReports = append(jsonReports, jsonReport{
+			// Stable output contract: findings ordered by rule ID, then
+			// signal ID, independent of pass ordering and severity.
+			sort.SliceStable(findings, func(i, j int) bool {
+				if findings[i].Rule != findings[j].Rule {
+					return findings[i].Rule < findings[j].Rule
+				}
+				return findings[i].Signal < findings[j].Signal
+			})
+			jr := jsonReport{
 				Circuit:  rep.Circuit,
 				Errors:   counts[lint.Error],
 				Warnings: counts[lint.Warning],
 				Infos:    counts[lint.Info],
 				Findings: findings,
-			})
+			}
+			if impl != nil {
+				jr.Implic = impl.json()
+			}
+			jsonReports = append(jsonReports, jr)
 			continue
 		}
 		fmt.Fprintf(w, "%s: %d finding(s): %d error(s), %d warning(s), %d info\n",
@@ -122,8 +187,11 @@ func run(w io.Writer, benchPath, genSpec string, paths []string, jsonOut bool, s
 		for _, f := range rep.Filter(minSev) {
 			fmt.Fprintf(w, "  %s\n", f)
 		}
+		if impl != nil {
+			impl.writeText(w)
+		}
 	}
-	if jsonOut {
+	if cfg.jsonOut {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonReports); err != nil {
@@ -131,4 +199,58 @@ func run(w io.Writer, benchPath, genSpec string, paths []string, jsonOut bool, s
 		}
 	}
 	return failed, nil
+}
+
+// implicSummary carries one circuit's engine results for both renderers.
+type implicSummary struct {
+	stats     implic.Stats
+	constants []string
+	redundant []jsonRedundant
+	dominated int
+}
+
+// summarizeImplications runs the implication engine on the circuit.
+func summarizeImplications(c *netlist.Circuit) *implicSummary {
+	e := implic.New(c, implic.Options{})
+	s := &implicSummary{stats: e.Stats()}
+	for _, sig := range e.Constants() {
+		v, _ := e.ConstValue(sig)
+		bit := 0
+		if v {
+			bit = 1
+		}
+		s.constants = append(s.constants, fmt.Sprintf("%s=%d", c.GateName(sig), bit))
+	}
+	for _, r := range e.Redundant() {
+		s.redundant = append(s.redundant, jsonRedundant{Fault: r.F.Name(c), Reason: r.Reason})
+	}
+	for sig := 0; sig < c.NumGates(); sig++ {
+		if _, ok := e.Dominator(sig); ok {
+			s.dominated++
+		}
+	}
+	return s
+}
+
+func (s *implicSummary) json() *jsonImplications {
+	return &jsonImplications{
+		Gates:        s.stats.Gates,
+		Implications: s.stats.Implications,
+		Learned:      s.stats.Learned,
+		Dead:         s.stats.Dead,
+		Dominated:    s.dominated,
+		Constants:    s.constants,
+		Redundant:    s.redundant,
+	}
+}
+
+func (s *implicSummary) writeText(w io.Writer) {
+	fmt.Fprintf(w, "  implications: %d stored (%d learned) over %d gates; %d constant line(s), %d dead, %d dominated\n",
+		s.stats.Implications, s.stats.Learned, s.stats.Gates, s.stats.Constants, s.stats.Dead, s.dominated)
+	for _, c := range s.constants {
+		fmt.Fprintf(w, "    constant %s\n", c)
+	}
+	for _, r := range s.redundant {
+		fmt.Fprintf(w, "    redundant %s: %s\n", r.Fault, r.Reason)
+	}
 }

@@ -15,7 +15,7 @@ const fixtureDir = "../../testdata/lint"
 func runText(t *testing.T, path string) (string, bool) {
 	t.Helper()
 	var sb strings.Builder
-	failed, err := run(&sb, "", "", []string{path}, false, "info", "error", lint.Options{})
+	failed, err := run(&sb, config{paths: []string{path}, sevName: "info", failName: "error"})
 	if err != nil {
 		t.Fatalf("run %s: %v", path, err)
 	}
@@ -55,7 +55,7 @@ func TestCleanFixtureHasNoWarnings(t *testing.T) {
 
 func TestJSONOutput(t *testing.T) {
 	var sb strings.Builder
-	failed, err := run(&sb, "", "", []string{filepath.Join(fixtureDir, "stuck.bench")}, true, "info", "error", lint.Options{})
+	failed, err := run(&sb, config{paths: []string{filepath.Join(fixtureDir, "stuck.bench")}, jsonOut: true, sevName: "info", failName: "error"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestJSONOutput(t *testing.T) {
 
 func TestFailSeverityFlag(t *testing.T) {
 	var sb strings.Builder
-	failed, err := run(&sb, "", "", []string{filepath.Join(fixtureDir, "undriven.bench")}, false, "info", "warning", lint.Options{})
+	failed, err := run(&sb, config{paths: []string{filepath.Join(fixtureDir, "undriven.bench")}, sevName: "info", failName: "warning"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestFailSeverityFlag(t *testing.T) {
 
 func TestGenSpecAndMultipleInputs(t *testing.T) {
 	var sb strings.Builder
-	failed, err := run(&sb, "", "c17", []string{filepath.Join(fixtureDir, "clean.bench")}, false, "info", "error", lint.Options{})
+	failed, err := run(&sb, config{genSpec: "c17", paths: []string{filepath.Join(fixtureDir, "clean.bench")}, sevName: "info", failName: "error"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,20 +111,97 @@ func TestGenSpecAndMultipleInputs(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, "", "", nil, false, "info", "error", lint.Options{}); err == nil {
+	if _, err := run(&sb, config{sevName: "info", failName: "error"}); err == nil {
 		t.Error("expected error with no inputs")
 	}
-	if _, err := run(&sb, "", "", []string{"no/such/file.bench"}, false, "info", "error", lint.Options{}); err == nil {
+	if _, err := run(&sb, config{paths: []string{"no/such/file.bench"}, sevName: "info", failName: "error"}); err == nil {
 		t.Error("expected error for missing file")
 	}
-	if _, err := run(&sb, "", "c17", nil, false, "frob", "error", lint.Options{}); err == nil {
+	if _, err := run(&sb, config{genSpec: "c17", sevName: "frob", failName: "error"}); err == nil {
 		t.Error("expected error for bad severity name")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.bench")
 	if err := os.WriteFile(bad, []byte("z = FROB(a)\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := run(&sb, "", "", []string{bad}, false, "info", "error", lint.Options{}); err == nil {
+	if _, err := run(&sb, config{paths: []string{bad}, sevName: "info", failName: "error"}); err == nil {
 		t.Error("expected error for malformed bench input")
+	}
+}
+
+// TestJSONGoldenFile pins the exact -json output for the redundant
+// fixture: byte-for-byte stability, including the rule-then-signal
+// ordering of findings. Regenerate with:
+//
+//	go run ./cmd/lint -json -severity info testdata/lint/redundant.bench > testdata/lint/redundant.golden.json
+func TestJSONGoldenFile(t *testing.T) {
+	var sb strings.Builder
+	failed, err := run(&sb, config{paths: []string{filepath.Join(fixtureDir, "redundant.bench")}, jsonOut: true, sevName: "info", failName: "error"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Error("redundant fixture has only warnings; must not fail at -fail error")
+	}
+	want, err := os.ReadFile(filepath.Join(fixtureDir, "redundant.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("JSON output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestJSONFindingsOrdered checks the ordering contract on a fixture
+// with findings from several passes: rule ID ascending, then signal.
+func TestJSONFindingsOrdered(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, config{paths: []string{filepath.Join(fixtureDir, "stuck.bench")}, jsonOut: true, sevName: "info", failName: "error"}); err != nil {
+		t.Fatal(err)
+	}
+	var reports []struct {
+		Findings []lint.Finding `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &reports); err != nil {
+		t.Fatal(err)
+	}
+	fs := reports[0].Findings
+	if len(fs) < 2 {
+		t.Fatalf("expected several findings, got %d", len(fs))
+	}
+	for i := 1; i < len(fs); i++ {
+		a, b := fs[i-1], fs[i]
+		if a.Rule > b.Rule || (a.Rule == b.Rule && a.Signal > b.Signal) {
+			t.Errorf("findings out of order at %d: %s/%d before %s/%d", i, a.Rule, a.Signal, b.Rule, b.Signal)
+		}
+	}
+}
+
+// TestImplicationsFlag smoke-tests both renderers of -implications.
+func TestImplicationsFlag(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, config{paths: []string{filepath.Join(fixtureDir, "redundant.bench")}, implications: true, sevName: "info", failName: "error"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "implications:") || !strings.Contains(sb.String(), "redundant n1 s-a-0") {
+		t.Errorf("text summary missing implication block:\n%s", sb.String())
+	}
+	sb.Reset()
+	if _, err := run(&sb, config{paths: []string{filepath.Join(fixtureDir, "redundant.bench")}, implications: true, jsonOut: true, sevName: "info", failName: "error"}); err != nil {
+		t.Fatal(err)
+	}
+	var reports []struct {
+		Implic *struct {
+			Learned   int `json:"learned"`
+			Redundant []struct {
+				Fault string `json:"fault"`
+			} `json:"redundant"`
+		} `json:"implications"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Implic == nil || len(reports[0].Implic.Redundant) == 0 {
+		t.Errorf("JSON implications summary missing:\n%s", sb.String())
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/implic"
 	"repro/internal/netlist"
 )
 
@@ -76,6 +77,14 @@ func (s Status) String() string {
 type Options struct {
 	// BacktrackLimit bounds the search per fault (0 = 20000).
 	BacktrackLimit int
+	// Learn optionally supplies a static implication engine built on the
+	// same circuit (internal/implic). When set, the search prunes
+	// decision subtrees in which the learned implications prove that the
+	// fault can no longer be excited or its effect can no longer reach
+	// an output. Pruning only cuts subtrees that contain no test, so the
+	// result status never changes and the backtrack count never exceeds
+	// the unassisted search.
+	Learn *implic.Engine
 }
 
 // Result reports one PODEM run.
@@ -97,6 +106,12 @@ type engine struct {
 	assign []Value // PI decisions, indexed by input position
 	limit  int
 	backs  int
+
+	// Learned-implication pruning state (nil/empty without Options.Learn).
+	learn      *implic.Engine
+	cone       []bool  // fanout cone of f.Gate: signals that may carry the fault effect
+	implied    []Value // fault-free values forced by the current assignment
+	impTouched []int   // signals set in implied, for O(touched) reset
 }
 
 // Generate runs PODEM for a single stuck-at fault.
@@ -118,6 +133,19 @@ func Generate(c *netlist.Circuit, f fault.Fault, opts Options) (*Result, error) 
 		bad:    make([]Value, c.NumGates()),
 		assign: make([]Value, c.NumInputs()),
 		limit:  limit,
+	}
+	if opts.Learn != nil && opts.Learn.Circuit() == c {
+		e.learn = opts.Learn
+		e.implied = make([]Value, c.NumGates())
+		e.cone = make([]bool, c.NumGates())
+		e.cone[f.Gate] = true
+		for _, id := range c.TopoOrder() {
+			if e.cone[id] {
+				for _, g := range c.Fanout(id) {
+					e.cone[g] = true
+				}
+			}
+		}
 	}
 	ok, aborted := e.search()
 	res := &Result{Backtracks: e.backs}
@@ -305,6 +333,104 @@ func (e *engine) objective() (int, Value, bool) {
 	return 0, X, false
 }
 
+// pruned consults the static implication engine and reports whether the
+// current partial assignment provably admits no test, so the whole
+// decision subtree can be abandoned without exploring it. Two sound
+// cuts, both over fault-free (good-circuit) knowledge:
+//
+//   - excitation: the fault site is still X but every completion of the
+//     assignment forces it to the stuck value;
+//   - propagation: the fault is excited, the D-frontier is non-empty,
+//     and every frontier gate has a fault-free side input (outside the
+//     fault's fanout cone, so its value is identical in both circuit
+//     copies) forced to the gate's controlling value, which fixes the
+//     gate output identically in both copies. New frontier gates only
+//     appear downstream of current ones, so killing the whole frontier
+//     kills the subtree.
+//
+// An empty D-frontier is left to objective(), which already fails then.
+func (e *engine) pruned() bool {
+	if e.learn == nil {
+		return false
+	}
+	// Close the definite good values under the implication database.
+	for _, s := range e.impTouched {
+		e.implied[s] = X
+	}
+	e.impTouched = e.impTouched[:0]
+	for s := 0; s < e.c.NumGates(); s++ {
+		if e.good[s] == X {
+			continue
+		}
+		for _, l := range e.learn.Implied(implic.MkLit(s, e.good[s] == One)) {
+			t := l.Signal()
+			if e.implied[t] == X {
+				e.implied[t] = stuckValue(l.Val())
+				e.impTouched = append(e.impTouched, t)
+			}
+		}
+	}
+
+	site := e.faultSite()
+	want := stuckValue(e.f.Stuck).invert()
+	if e.good[site] == X {
+		// Every completion drives the site to the stuck value: the fault
+		// can never be excited under this assignment.
+		return e.implied[site] == stuckValue(e.f.Stuck)
+	}
+	if e.good[site] != want {
+		return false
+	}
+
+	frontier := 0
+	for _, id := range e.c.TopoOrder() {
+		g := e.c.Gate(id)
+		if g.Type == netlist.Input {
+			continue
+		}
+		if e.good[id] != X && e.bad[id] != X {
+			continue
+		}
+		diverges := false
+		for pin, fin := range g.Fanin {
+			gv, bv := e.good[fin], e.bad[fin]
+			if !e.f.IsStem() && e.f.Gate == id && e.f.Pin == pin {
+				bv = stuckValue(e.f.Stuck)
+			}
+			if gv != X && bv != X && gv != bv {
+				diverges = true
+				break
+			}
+		}
+		if !diverges {
+			continue
+		}
+		frontier++
+		cvb, hasCtl := g.Type.ControllingValue()
+		if !hasCtl {
+			return false // XOR-likes and BUF/NOT always propagate
+		}
+		cv := stuckValue(cvb)
+		dead := false
+		for pin, fin := range g.Fanin {
+			if !e.f.IsStem() && e.f.Gate == id && e.f.Pin == pin {
+				continue
+			}
+			if e.good[fin] != X || e.cone[fin] {
+				continue
+			}
+			if e.implied[fin] == cv {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			return false
+		}
+	}
+	return frontier > 0
+}
+
 // backtrace maps an objective to a primary input assignment along a path
 // of X-valued signals.
 func (e *engine) backtrace(sig int, val Value) (int, Value) {
@@ -350,16 +476,18 @@ func (e *engine) search() (found, aborted bool) {
 		if e.detected() {
 			return true, false
 		}
-		sig, val, ok := e.objective()
-		if ok {
-			in, v := e.backtrace(sig, val)
-			if in >= 0 && e.assign[in] == X {
-				stack = append(stack, decision{input: in, value: v})
-				e.assign[in] = v
-				e.imply()
-				continue
+		if !e.pruned() {
+			sig, val, ok := e.objective()
+			if ok {
+				in, v := e.backtrace(sig, val)
+				if in >= 0 && e.assign[in] == X {
+					stack = append(stack, decision{input: in, value: v})
+					e.assign[in] = v
+					e.imply()
+					continue
+				}
+				// Backtrace landed on an assigned input: treat as conflict.
 			}
-			// Backtrace landed on an assigned input: treat as conflict.
 		}
 		// Conflict or no objective: backtrack.
 		for {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -9,6 +10,11 @@ import (
 // survives a write/re-parse round trip with the same shape.
 func FuzzParse(f *testing.F) {
 	f.Add(c17Text)
+	// The lint fixtures exercise comment styles and multi-output shapes
+	// the inline seeds don't.
+	if b, err := os.ReadFile("../../testdata/lint/redundant.bench"); err == nil {
+		f.Add(string(b))
+	}
 	f.Add("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
 	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = XOR(a, b)\n")
 	f.Add("# only a comment\n")

@@ -27,13 +27,29 @@ type dominanceDrop struct {
 // dominance-collapsed list are not comparable to equivalence-collapsed
 // numbers.
 func CollapseWithDominance(c *netlist.Circuit) []Fault {
-	kept, _ := collapseWithDominance(c)
+	kept, _ := collapseExcluding(c, nil)
 	return kept
 }
 
-func collapseWithDominance(c *netlist.Circuit) ([]Fault, []dominanceDrop) {
+// CollapseExcluding is CollapseWithDominance with a set of known-
+// untestable faults (typically the static redundancy pass of
+// internal/implic) folded in: every equivalence class containing a
+// redundant fault is removed outright — equivalent faults share their
+// (empty) test sets — and dominance drops only use witnesses from
+// non-redundant classes, because a dominance argument through a
+// redundant witness guarantees nothing (the witness has no tests).
+func CollapseExcluding(c *netlist.Circuit, redundant []Fault) []Fault {
+	kept, _ := collapseExcluding(c, redundant)
+	return kept
+}
+
+func collapseExcluding(c *netlist.Circuit, redundant []Fault) ([]Fault, []dominanceDrop) {
 	uf := buildUnions(c)
 	collapsed := Collapse(c, Universe(c))
+	redRoot := make(map[Fault]bool, len(redundant))
+	for _, f := range redundant {
+		redRoot[uf.find(f)] = true
+	}
 	repOf := make(map[Fault]Fault, len(collapsed))
 	for _, rep := range collapsed {
 		repOf[uf.find(rep)] = rep
@@ -66,14 +82,17 @@ func collapseWithDominance(c *netlist.Circuit) ([]Fault, []dominanceDrop) {
 		}
 		dropFault := Fault{Gate: id, Pin: -1, Stuck: !controlled}
 		dRep, ok := classRep(dropFault)
-		if !ok || dropped[dRep] {
+		if !ok || dropped[dRep] || redRoot[uf.find(dRep)] {
 			continue
 		}
 		// Witness: any input fault at the non-controlling value whose
-		// class is distinct from the dropped class.
+		// class is distinct from the dropped class and not redundant.
+		// (A dominance chain through an already-dropped witness stays
+		// sound by transitivity; a redundant witness would not.)
 		for pin := range g.Fanin {
-			wRep, ok := classRep(inputFault(id, pin, !cv))
-			if ok && wRep != dRep {
+			w := inputFault(id, pin, !cv)
+			wRep, ok := classRep(w)
+			if ok && wRep != dRep && !redRoot[uf.find(wRep)] {
 				dropped[dRep] = true
 				drops = append(drops, dominanceDrop{Dropped: dRep, Witness: wRep})
 				break
@@ -82,7 +101,7 @@ func collapseWithDominance(c *netlist.Circuit) ([]Fault, []dominanceDrop) {
 	}
 	kept := make([]Fault, 0, len(collapsed)-len(dropped))
 	for _, rep := range collapsed {
-		if !dropped[rep] {
+		if !dropped[rep] && !redRoot[uf.find(rep)] {
 			kept = append(kept, rep)
 		}
 	}

@@ -57,7 +57,7 @@ func TestDominanceWitnessContainment(t *testing.T) {
 	// detects a drop's witness also detects the dropped fault.
 	for seed := int64(0); seed < 6; seed++ {
 		c := gen.RandomDAG(seed, 8, 25, gen.DAGOptions{})
-		_, drops := collapseWithDominance(c)
+		_, drops := collapseExcluding(c, nil)
 		if len(drops) == 0 {
 			continue
 		}
@@ -77,7 +77,7 @@ func TestDominanceWitnessContainment(t *testing.T) {
 func TestDominanceChainsTerminate(t *testing.T) {
 	// Every dropped class's witness chain must end at a kept fault.
 	c := gen.RandomDAG(11, 10, 60, gen.DAGOptions{})
-	kept, drops := collapseWithDominance(c)
+	kept, drops := collapseExcluding(c, nil)
 	keptSet := make(map[Fault]bool, len(kept))
 	for _, f := range kept {
 		keptSet[f] = true

@@ -118,6 +118,14 @@ const (
 	// RuleReconvergence: reconvergent fanout present (exact cut DP
 	// inapplicable) or absent (exact DP optimal).
 	RuleReconvergence = "F002"
+	// RuleStaticRedundant: a stuck-at fault proven untestable by the
+	// static implication engine (dominator-blocked propagation or
+	// implication-derived constants; strictly stronger than C002).
+	RuleStaticRedundant = "S001"
+	// RuleCollapsibleSite: a single-fanout signal whose immediate
+	// dominator is a buffer/inverter, so one observation point covers
+	// both lines.
+	RuleCollapsibleSite = "S002"
 )
 
 // Finding is one diagnostic produced by a lint pass.
@@ -168,6 +176,10 @@ type Options struct {
 	// InputProb optionally gives P(input=1) per primary input for the COP
 	// pass, as in testability.COPOptions.
 	InputProb []float64
+	// ImplicationGateLimit bounds the circuit size for the static
+	// implication pass (S001/S002), whose learning sweep is roughly
+	// quadratic in gate count (0 = default 3000, negative = disabled).
+	ImplicationGateLimit int
 }
 
 func (o *Options) defaults() {
@@ -279,6 +291,7 @@ func Analyze(c *netlist.Circuit, opts Options) *Report {
 
 	checkHygiene(c, opts, r)
 	checkConstants(c, r)
+	checkStatic(c, opts, r)
 	checkDuplicateCones(c, r)
 	checkHotspots(c, opts, r)
 	checkStructure(c, r)

@@ -40,7 +40,9 @@ func stuckCircuit() *netlist.Circuit {
 
 func TestConstantLineStuckAt0(t *testing.T) {
 	c := stuckCircuit()
-	r := Analyze(c, Options{})
+	// The implication pass (S001) proves additional faults redundant;
+	// disable it to test the constant pass in isolation.
+	r := Analyze(c, Options{ImplicationGateLimit: -1})
 	consts := r.ByRule(RuleConstantLine)
 	if len(consts) != 1 {
 		t.Fatalf("want 1 %s finding, got %d: %v", RuleConstantLine, len(consts), r.Findings)
@@ -116,7 +118,7 @@ func TestBranchFaultsUntestableOnFanoutConstant(t *testing.T) {
 	b.MarkOutput(u)
 	b.MarkOutput(v)
 	c := b.MustBuild()
-	r := Analyze(c, Options{})
+	r := Analyze(c, Options{ImplicationGateLimit: -1})
 	un := r.Untestable()
 	// Stem fault plus one branch fault per consumer.
 	if len(un) != 3 {

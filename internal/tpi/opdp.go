@@ -355,10 +355,18 @@ func PlanObservationPointsDP(c *netlist.Circuit, faults []fault.Fault, k int, dt
 		plan.CoveredAfter = plan.CoveredBefore
 		return plan, nil
 	}
-	// Per-region DP gain tables.
+	// Per-region DP gain tables. Regions holding no fault can never gain
+	// coverage from an observation point, so their trees are not scored
+	// at all (an exact skip: the cross-region knapsack would assign them
+	// zero budget anyway).
 	stems := make([]int, 0, len(m.regionNodes))
-	for s := range m.regionNodes {
-		stems = append(stems, s)
+	for s, nodes := range m.regionNodes {
+		for _, n := range nodes {
+			if len(m.nodeFaults[n]) > 0 {
+				stems = append(stems, s)
+				break
+			}
+		}
 	}
 	sort.Ints(stems)
 	dps := make([]*regionDP, len(stems))

@@ -32,6 +32,10 @@ type HybridPlan struct {
 	Observe *OPPlan
 	// Modified is the final circuit with all test points inserted.
 	Modified *netlist.Circuit
+	// PrunedFaults counts the statically-redundant faults removed from
+	// the target list before planning (see PruneFaults); coverage
+	// figures in Control and Observe are over the pruned list.
+	PrunedFaults int
 }
 
 // AllPoints returns the total number of inserted test points.
@@ -39,12 +43,14 @@ func (h *HybridPlan) AllPoints() int {
 	return len(h.Control.Points) + len(h.Observe.Points)
 }
 
-// PlanHybrid runs the full flow: greedy control point selection (at most
-// nCP points) followed by DP observation point planning (at most nOP
-// points) on the control-modified circuit, targeting detection threshold
-// dth for the given fault list. The returned plan carries the final
-// modified circuit ready for fault simulation.
+// PlanHybrid runs the full flow: a static pre-prune of untestable
+// faults, greedy control point selection (at most nCP points), then DP
+// observation point planning (at most nOP points) on the
+// control-modified circuit, targeting detection threshold dth for the
+// given fault list. The returned plan carries the final modified
+// circuit ready for fault simulation.
 func PlanHybrid(c *netlist.Circuit, faults []fault.Fault, nCP, nOP int, dth float64, cpOpts CPOptions, opOpts OPOptions) (*HybridPlan, error) {
+	faults, pruned := PruneFaults(c, faults)
 	cp, err := PlanControlPointsGreedy(c, faults, nCP, dth, cpOpts)
 	if err != nil {
 		return nil, err
@@ -61,5 +67,5 @@ func PlanHybrid(c *netlist.Circuit, faults []fault.Fault, nCP, nOP int, dth floa
 	if err != nil {
 		return nil, err
 	}
-	return &HybridPlan{Control: cp, Observe: op, Modified: final}, nil
+	return &HybridPlan{Control: cp, Observe: op, Modified: final, PrunedFaults: pruned}, nil
 }

@@ -1,0 +1,34 @@
+package tpi
+
+import (
+	"repro/internal/fault"
+	"repro/internal/implic"
+	"repro/internal/netlist"
+)
+
+// pruneGateLimit bounds the circuit size for the static pre-prune; the
+// implication engine's learning sweep is roughly quadratic in gate
+// count, while the planners themselves stay near-linear.
+const pruneGateLimit = 4096
+
+// PruneFaults removes the faults that the static implication engine
+// (internal/implic) proves untestable: no test point placement can ever
+// detect them, so scoring candidate sites against them only dilutes the
+// planners' coverage model. Returns the kept faults and how many were
+// pruned. Circuits above the internal gate limit are returned unchanged.
+func PruneFaults(c *netlist.Circuit, faults []fault.Fault) ([]fault.Fault, int) {
+	if c.NumGates() > pruneGateLimit {
+		return faults, 0
+	}
+	red := implic.New(c, implic.Options{}).RedundantSet()
+	if len(red) == 0 {
+		return faults, 0
+	}
+	kept := make([]fault.Fault, 0, len(faults))
+	for _, f := range faults {
+		if !red[f] {
+			kept = append(kept, f)
+		}
+	}
+	return kept, len(faults) - len(kept)
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/gen"
+	"repro/internal/implic"
 	"repro/internal/lint"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -167,6 +168,33 @@ func AllFaults(c *Circuit) []Fault { return fault.Universe(c) }
 // FaultsDominance enumerates the equivalence-plus-dominance collapsed
 // fault list, the smallest standard target set for test generation.
 func FaultsDominance(c *Circuit) []Fault { return fault.CollapseWithDominance(c) }
+
+// ImplicationEngine is the static implication engine: direct and learned
+// (SOCRATES-style) implications, dominator analysis, proven constants,
+// and statically-proven-redundant faults.
+type ImplicationEngine = implic.Engine
+
+// ImplicationOptions configures the engine; the zero value learns with
+// the default number of rounds.
+type ImplicationOptions = implic.Options
+
+// Implications builds the static implication engine for a circuit.
+func Implications(c *Circuit) *ImplicationEngine { return implic.New(c, implic.Options{}) }
+
+// StaticRedundantFaults returns the stuck-at faults proven untestable by
+// static implication analysis alone — no test pattern search involved.
+// Every returned fault is genuinely redundant (PODEM-confirmed in the
+// cross-check tests); the converse does not hold.
+func StaticRedundantFaults(c *Circuit) []Fault {
+	return implic.New(c, implic.Options{}).RedundantFaults()
+}
+
+// FaultsStatic enumerates the smallest fault list the static analyses
+// can produce: equivalence-plus-dominance collapsing with every class
+// containing a statically redundant fault removed.
+func FaultsStatic(c *Circuit) []Fault {
+	return implic.New(c, implic.Options{}).Collapse()
+}
 
 // PatternSource produces 64-pattern blocks for the fault simulator.
 type PatternSource = pattern.Source
