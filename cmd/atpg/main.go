@@ -11,8 +11,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/atpg"
@@ -32,15 +35,26 @@ func main() {
 		compact   = flag.Bool("compact", false, "apply static reverse-order compaction to the set")
 		verify    = flag.Bool("verify", false, "re-simulate the test set and confirm coverage")
 		doLint    = flag.Bool("lint", false, "statically validate the input circuit and reject on lint errors")
+		timeout   = flag.Duration("timeout", 0, "abort test generation after this duration (0 = none; expiry exits 3)")
 	)
 	flag.Parse()
-	if err := run(*benchPath, *genSpec, *outPath, *limit, *dominance, *compact, *verify, *doLint); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *benchPath, *genSpec, *outPath, *limit, *dominance, *compact, *verify, *doLint); err != nil {
 		fmt.Fprintln(os.Stderr, "atpg:", err)
-		os.Exit(1)
+		code := cli.ExitCode(err)
+		if code == cli.ExitDeadline {
+			fmt.Fprintln(os.Stderr, "atpg: -timeout expired; any results above are partial")
+		}
+		os.Exit(code)
 	}
 }
 
-func run(benchPath, genSpec, outPath string, limit int, dominance, compact, verify, doLint bool) error {
+func run(ctx context.Context, benchPath, genSpec, outPath string, limit int, dominance, compact, verify, doLint bool) error {
 	c, err := cli.LoadCircuitChecked(benchPath, genSpec, doLint, os.Stderr)
 	if err != nil {
 		return err
@@ -56,8 +70,15 @@ func run(benchPath, genSpec, outPath string, limit int, dominance, compact, veri
 		fmt.Printf("targets: %d faults (equivalence collapsed)\n", len(faults))
 	}
 
-	ts, err := atpg.GenerateTests(c, faults, atpg.Options{BacktrackLimit: limit})
+	ts, err := atpg.GenerateTestsContext(ctx, c, faults, atpg.Options{BacktrackLimit: limit})
 	if err != nil {
+		// On deadline expiry PODEM returns the test set built so far;
+		// report it before exiting so the partial work is not lost.
+		if ts != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			done := len(ts.Detected) + len(ts.Redundant) + len(ts.Aborted)
+			fmt.Printf("partial test set: %d vectors covering %d/%d processed faults\n",
+				len(ts.Vectors), len(ts.Detected), done)
+		}
 		return err
 	}
 	if compact {
@@ -76,7 +97,7 @@ func run(benchPath, genSpec, outPath string, limit int, dominance, compact, veri
 	}
 
 	if verify {
-		res, err := fsim.Run(c, faults, pattern.NewVectors(ts.Vectors), fsim.Options{
+		res, err := fsim.RunContext(ctx, c, faults, pattern.NewVectors(ts.Vectors), fsim.Options{
 			MaxPatterns: len(ts.Vectors) + 64,
 			DropFaults:  true,
 		})
@@ -89,12 +110,9 @@ func run(benchPath, genSpec, outPath string, limit int, dominance, compact, veri
 	}
 
 	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pattern.WriteVectorText(f, ts.Vectors); err != nil {
+		if err := cli.WriteFile(outPath, func(w io.Writer) error {
+			return pattern.WriteVectorText(w, ts.Vectors)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("vectors written to %s\n", outPath)

@@ -1,22 +1,23 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunBasic(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "v.vec")
-	if err := run("", "rca:width=3", out, 5000, false, false, true, false); err != nil {
+	if err := run(context.Background(), "", "rca:width=3", out, 5000, false, false, true, false); err != nil {
 		t.Errorf("plain: %v", err)
 	}
-	if err := run("", "rca:width=3", "", 5000, true, true, true, false); err != nil {
+	if err := run(context.Background(), "", "rca:width=3", "", 5000, true, true, true, false); err != nil {
 		t.Errorf("dominance+compact: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", 100, false, false, false, false); err == nil {
+	if err := run(context.Background(), "", "", "", 100, false, false, false, false); err == nil {
 		t.Error("expected error with no circuit")
 	}
 }

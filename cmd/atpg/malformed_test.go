@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -29,7 +30,7 @@ func TestMalformedBenchRejected(t *testing.T) {
 	for _, tc := range malformedBenchCases {
 		t.Run(tc.name, func(t *testing.T) {
 			p := writeBenchFile(t, tc.src)
-			if err := run(p, "", "", 100, false, false, false, false); err == nil {
+			if err := run(context.Background(), p, "", "", 100, false, false, false, false); err == nil {
 				t.Errorf("expected error for %s input", tc.name)
 			}
 		})
@@ -38,10 +39,10 @@ func TestMalformedBenchRejected(t *testing.T) {
 
 func TestLintFlag(t *testing.T) {
 	stuck := writeBenchFile(t, "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nna = NOT(a)\nk = AND(a, na)\nz = OR(b, k)\n")
-	if err := run(stuck, "", "", 100, false, false, false, true); err == nil {
+	if err := run(context.Background(), stuck, "", "", 100, false, false, false, true); err == nil {
 		t.Error("expected -lint to reject the stuck-constant circuit")
 	}
-	if err := run("", "c17", "", 1000, false, false, false, true); err != nil {
+	if err := run(context.Background(), "", "c17", "", 1000, false, false, false, true); err != nil {
 		t.Errorf("-lint on clean c17: %v", err)
 	}
 }

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
@@ -27,7 +28,7 @@ func main() {
 	flag.Parse()
 	if err := run(*genSpec, *outPath, *format, *stats, *doLint); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
@@ -44,30 +45,26 @@ func run(genSpec, outPath, format string, stats, doLint bool) error {
 			return err
 		}
 	}
-	out := os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
-	}
 	switch format {
-	case "bench":
-		if err := bench.Write(out, c); err != nil {
-			return err
-		}
-	case "verilog":
-		if err := vlog.Write(out, c); err != nil {
-			return err
-		}
-	case "dot":
-		if err := c.WriteDot(out); err != nil {
-			return err
-		}
+	case "bench", "verilog", "dot":
 	default:
 		return fmt.Errorf("unknown format %q", format)
+	}
+	emit := func(out io.Writer) error {
+		switch format {
+		case "verilog":
+			return vlog.Write(out, c)
+		case "dot":
+			return c.WriteDot(out)
+		}
+		return bench.Write(out, c)
+	}
+	if outPath != "" {
+		if err := cli.WriteFile(outPath, emit); err != nil {
+			return err
+		}
+	} else if err := emit(os.Stdout); err != nil {
+		return err
 	}
 	if stats {
 		s := c.Stats()

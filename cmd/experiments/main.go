@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the
-// reconstructed evaluation (E1..E8 in DESIGN.md) and prints them as
+// reconstructed evaluation (E1..E9 in DESIGN.md) and prints them as
 // aligned ASCII; tables can also be exported as CSV files.
 //
 // Examples:
@@ -11,51 +11,50 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 )
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "scaled-down workloads")
-		only   = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4)")
-		csvDir = flag.String("csv", "", "directory to write per-table CSV files")
-		doLint = flag.Bool("lint", false, "statically lint the experiment circuits before running")
+		quick   = flag.Bool("quick", false, "scaled-down workloads")
+		only    = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4)")
+		csvDir  = flag.String("csv", "", "directory to write per-table CSV files")
+		doLint  = flag.Bool("lint", false, "statically lint the experiment circuits before running")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = none; expiry exits 3)")
 	)
 	flag.Parse()
-	if err := run(*quick, *only, *csvDir, *doLint); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *quick, *only, *csvDir, *doLint); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		code := cli.ExitCode(err)
+		if code == cli.ExitDeadline {
+			fmt.Fprintln(os.Stderr, "experiments: -timeout expired; experiments printed above are complete, the rest did not run")
+		}
+		os.Exit(code)
 	}
 }
 
-func run(quick bool, only, csvDir string, doLint bool) error {
+func run(ctx context.Context, quick bool, only, csvDir string, doLint bool) error {
 	cfg := exp.Config{Quick: quick}
 	if doLint {
 		if err := exp.Preflight(cfg, os.Stderr); err != nil {
 			return err
 		}
-	}
-	type entry struct {
-		id string
-		fn func() (exp.Renderable, error)
-	}
-	entries := []entry{
-		{"E1", func() (exp.Renderable, error) { return exp.E1TestCounts(cfg) }},
-		{"E2", func() (exp.Renderable, error) { return exp.E2Insertion(cfg) }},
-		{"E3", func() (exp.Renderable, error) { return exp.E3Sweep(cfg) }},
-		{"E4", func() (exp.Renderable, error) { return exp.E4Coverage(cfg) }},
-		{"E5", func() (exp.Renderable, error) { return exp.E5Curve(cfg) }},
-		{"E6", func() (exp.Renderable, error) { return exp.E6Scaling(cfg) }},
-		{"E7", func() (exp.Renderable, error) { return exp.E7Reduction(cfg) }},
-		{"E8", func() (exp.Renderable, error) { return exp.E8Ablations(cfg) }},
-		{"E9", func() (exp.Renderable, error) { return exp.E9ScanTestTime(cfg) }},
 	}
 	selected := map[string]bool{}
 	if only != "" {
@@ -68,30 +67,26 @@ func run(quick bool, only, csvDir string, doLint bool) error {
 			return err
 		}
 	}
-	for _, e := range entries {
-		if len(selected) > 0 && !selected[e.id] {
+	for _, e := range exp.Experiments() {
+		if len(selected) > 0 && !selected[e.ID] {
 			continue
 		}
 		start := time.Now()
-		r, err := e.fn()
+		r, err := e.Run(ctx, cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		if err := r.Write(os.Stdout); err != nil {
 			return err
 		}
-		fmt.Printf("(%s completed in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		if csvDir != "" {
 			if t, ok := r.(*exp.Table); ok {
-				f, err := os.Create(filepath.Join(csvDir, e.id+".csv"))
-				if err != nil {
+				if err := cli.WriteFile(filepath.Join(csvDir, e.ID+".csv"), func(w io.Writer) error {
+					return t.CSV(w)
+				}); err != nil {
 					return err
 				}
-				if err := t.CSV(f); err != nil {
-					f.Close()
-					return err
-				}
-				f.Close()
 			}
 		}
 	}

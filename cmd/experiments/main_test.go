@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunSubset(t *testing.T) {
 	csv := filepath.Join(t.TempDir(), "csv")
-	if err := run(true, "E2,E7", csv, true); err != nil {
+	if err := run(context.Background(), true, "E2,E7", csv, true); err != nil {
 		t.Fatal(err)
 	}
 }

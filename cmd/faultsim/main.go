@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,15 +35,26 @@ func main() {
 		uncol     = flag.Bool("uncollapsed", false, "simulate the uncollapsed fault universe")
 		hard      = flag.Int("hard", 5, "list up to this many undetected faults with COP estimates")
 		doLint    = flag.Bool("lint", false, "statically validate the input circuit and reject on lint errors")
+		timeout   = flag.Duration("timeout", 0, "abort simulation after this duration (0 = none; expiry exits 3)")
 	)
 	flag.Parse()
-	if err := run(*benchPath, *genSpec, *patterns, *seed, *source, *vecPath, *curve, *uncol, *hard, *doLint); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *benchPath, *genSpec, *patterns, *seed, *source, *vecPath, *curve, *uncol, *hard, *doLint); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
-		os.Exit(1)
+		code := cli.ExitCode(err)
+		if code == cli.ExitDeadline {
+			fmt.Fprintln(os.Stderr, "faultsim: -timeout expired; any results above are partial")
+		}
+		os.Exit(code)
 	}
 }
 
-func run(benchPath, genSpec string, patterns int, seed uint64, source, vecPath string, curve int, uncol bool, hard int, doLint bool) error {
+func run(ctx context.Context, benchPath, genSpec string, patterns int, seed uint64, source, vecPath string, curve int, uncol bool, hard int, doLint bool) error {
 	c, err := cli.LoadCircuitChecked(benchPath, genSpec, doLint, os.Stderr)
 	if err != nil {
 		return err
@@ -92,8 +105,15 @@ func run(benchPath, genSpec string, patterns int, seed uint64, source, vecPath s
 		return fmt.Errorf("unknown source %q", source)
 	}
 
-	res, err := fsim.Run(c, faults, src, fsim.Options{MaxPatterns: patterns, DropFaults: true})
+	res, err := fsim.RunContext(ctx, c, faults, src, fsim.Options{MaxPatterns: patterns, DropFaults: true})
 	if err != nil {
+		// On deadline expiry the simulator returns its progress over
+		// the completed pattern blocks; report the partial coverage
+		// before exiting.
+		if res != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			fmt.Printf("partial coverage after %d patterns: %.4f (%d/%d detected)\n",
+				res.Patterns, res.Coverage(), len(res.FirstDetect), len(faults))
+		}
 		return err
 	}
 	fmt.Printf("patterns applied: %d\n", res.Patterns)

@@ -1,38 +1,54 @@
 package main
 
 import (
+	"context"
+	"errors"
+
 	"os"
 	"path/filepath"
+	"repro/internal/cli"
 	"testing"
 )
 
 func TestRunSources(t *testing.T) {
-	if err := run("", "c17", 128, 1, "lfsr", "", 64, false, 2, false); err != nil {
+	if err := run(context.Background(), "", "c17", 128, 1, "lfsr", "", 64, false, 2, false); err != nil {
 		t.Errorf("lfsr: %v", err)
 	}
-	if err := run("", "c17", 1024, 1, "counter", "", 0, true, 0, false); err != nil {
+	if err := run(context.Background(), "", "c17", 1024, 1, "counter", "", 0, true, 0, false); err != nil {
 		t.Errorf("counter: %v", err)
 	}
-	if err := run("", "c17", 128, 1, "weighted", "", 0, false, 0, false); err != nil {
+	if err := run(context.Background(), "", "c17", 128, 1, "weighted", "", 0, false, 0, false); err != nil {
 		t.Errorf("weighted: %v", err)
 	}
 	vec := filepath.Join(t.TempDir(), "v.vec")
 	if err := os.WriteFile(vec, []byte("11111\n00000\n10101\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "c17", 128, 1, "file", vec, 0, false, 0, false); err != nil {
+	if err := run(context.Background(), "", "c17", 128, 1, "file", vec, 0, false, 0, false); err != nil {
 		t.Errorf("file: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "c17", 64, 1, "nope", "", 0, false, 0, false); err == nil {
+	if err := run(context.Background(), "", "c17", 64, 1, "nope", "", 0, false, 0, false); err == nil {
 		t.Error("expected error for unknown source")
 	}
-	if err := run("", "c17", 64, 1, "file", "", 0, false, 0, false); err == nil {
+	if err := run(context.Background(), "", "c17", 64, 1, "file", "", 0, false, 0, false); err == nil {
 		t.Error("expected error for missing vector path")
 	}
-	if err := run("", "dag:inputs=32,gates=50", 64, 1, "counter", "", 0, false, 0, false); err == nil {
+	if err := run(context.Background(), "", "dag:inputs=32,gates=50", 64, 1, "counter", "", 0, false, 0, false); err == nil {
 		t.Error("expected error for counter with too many inputs")
+	}
+}
+
+func TestRunDeadlineExitsWithContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expire before the run starts
+	err := run(ctx, "", "dag:gates=400,seed=2", 1<<20, 1, "lfsr", "", 0, false, 0, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if code := cli.ExitCode(err); code != cli.ExitDeadline {
+		t.Fatalf("exit code = %d, want %d", code, cli.ExitDeadline)
 	}
 }

@@ -1,0 +1,90 @@
+// Command serve exposes the repro engines — test point planning, fault
+// simulation, ATPG, and netlist lint — as an HTTP/JSON service.
+//
+// Endpoints (all engine endpoints are POST with a JSON body carrying
+// either inline "bench" text or a "generate" spec, plus "options"):
+//
+//	POST /v1/plan      test point planning (cuts | observe | control | hybrid)
+//	POST /v1/faultsim  bit-parallel fault simulation
+//	POST /v1/atpg      PODEM deterministic test generation
+//	POST /v1/lint      netlist static analysis
+//	GET  /healthz      liveness probe
+//	GET  /v1/stats     request, cache, and pool counters
+//	GET  /debug/vars   the same counters via expvar
+//
+// Results are cached content-addressed (SHA-256 of the canonicalized
+// netlist and options), so repeated identical requests are served
+// byte-identically without re-running the engines. On SIGINT/SIGTERM
+// the listener closes, in-flight requests drain, and the process exits
+// zero.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent engine executions (0 = GOMAXPROCS)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
+	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *cacheBytes, *requestTimeout, *maxBody, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers int, cacheBytes int64, requestTimeout time.Duration, maxBody int64, drainTimeout time.Duration) error {
+	s := serve.New(serve.Config{
+		Workers:        workers,
+		CacheBytes:     cacheBytes,
+		RequestTimeout: requestTimeout,
+		MaxBody:        maxBody,
+	})
+	s.PublishExpvar()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting connections, let in-flight requests finish.
+	fmt.Fprintln(os.Stderr, "serve: shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

@@ -16,8 +16,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cli"
@@ -42,15 +44,26 @@ func main() {
 		seed      = flag.Uint64("seed", 0xbadc0de, "LFSR seed for validation")
 		outPath   = flag.String("o", "", "write the modified circuit as .bench")
 		doLint    = flag.Bool("lint", false, "statically validate the input circuit and reject on lint errors")
+		timeout   = flag.Duration("timeout", 0, "abort planning/simulation after this duration (0 = none; expiry exits 3)")
 	)
 	flag.Parse()
-	if err := run(*benchPath, *genSpec, *mode, *planner, *k, *nCP, *nOP, *dth, *patterns, *seed, *outPath, *doLint); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *benchPath, *genSpec, *mode, *planner, *k, *nCP, *nOP, *dth, *patterns, *seed, *outPath, *doLint); err != nil {
 		fmt.Fprintln(os.Stderr, "tpi:", err)
-		os.Exit(1)
+		code := cli.ExitCode(err)
+		if code == cli.ExitDeadline {
+			fmt.Fprintln(os.Stderr, "tpi: -timeout expired; any results above are partial")
+		}
+		os.Exit(code)
 	}
 }
 
-func run(benchPath, genSpec, mode, planner string, k, nCP, nOP int, dth float64, patterns int, seed uint64, outPath string, doLint bool) error {
+func run(ctx context.Context, benchPath, genSpec, mode, planner string, k, nCP, nOP int, dth float64, patterns int, seed uint64, outPath string, doLint bool) error {
 	c, err := cli.LoadCircuitChecked(benchPath, genSpec, doLint, os.Stderr)
 	if err != nil {
 		return err
@@ -68,7 +81,7 @@ func run(benchPath, genSpec, mode, planner string, k, nCP, nOP int, dth float64,
 		var plan *tpi.CutPlan
 		switch planner {
 		case "dp":
-			plan, err = tpi.PlanCutsDP(c, k)
+			plan, err = tpi.PlanCutsDPContext(ctx, c, k)
 		case "greedy":
 			plan, err = tpi.PlanCutsGreedy(c, k)
 		case "random":
@@ -92,7 +105,7 @@ func run(benchPath, genSpec, mode, planner string, k, nCP, nOP int, dth float64,
 		var plan *tpi.OPPlan
 		switch planner {
 		case "dp":
-			plan, err = tpi.PlanObservationPointsDP(c, faults, k, dth, tpi.OPOptions{})
+			plan, err = tpi.PlanObservationPointsDPContext(ctx, c, faults, k, dth, tpi.OPOptions{})
 		case "greedy":
 			plan, err = tpi.PlanObservationPointsGreedy(c, faults, k, dth, tpi.OPOptions{})
 		case "random":
@@ -112,11 +125,11 @@ func run(benchPath, genSpec, mode, planner string, k, nCP, nOP int, dth float64,
 		if err != nil {
 			return err
 		}
-		if err := report(c, modified, faults, patterns, seed); err != nil {
+		if err := report(ctx, c, modified, faults, patterns, seed); err != nil {
 			return err
 		}
 	case "hybrid":
-		plan, err := tpi.PlanHybrid(c, faults, nCP, nOP, dth, tpi.CPOptions{}, tpi.OPOptions{})
+		plan, err := tpi.PlanHybridContext(ctx, c, faults, nCP, nOP, dth, tpi.CPOptions{}, tpi.OPOptions{})
 		if err != nil {
 			return err
 		}
@@ -128,7 +141,7 @@ func run(benchPath, genSpec, mode, planner string, k, nCP, nOP int, dth float64,
 			fmt.Printf("  observe signal %d\n", s)
 		}
 		modified = plan.Modified
-		if err := report(c, modified, faults, patterns, seed); err != nil {
+		if err := report(ctx, c, modified, faults, patterns, seed); err != nil {
 			return err
 		}
 	default:
@@ -136,12 +149,9 @@ func run(benchPath, genSpec, mode, planner string, k, nCP, nOP int, dth float64,
 	}
 
 	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := writeBench(f, modified); err != nil {
+		if err := cli.WriteFile(outPath, func(w io.Writer) error {
+			return writeBench(w, modified)
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("modified circuit written to %s\n", outPath)
@@ -151,12 +161,12 @@ func run(benchPath, genSpec, mode, planner string, k, nCP, nOP int, dth float64,
 
 // report fault-simulates original and modified circuits and prints the
 // coverage uplift.
-func report(orig, mod *netlist.Circuit, faults []fault.Fault, patterns int, seed uint64) error {
-	before, err := fsim.Run(orig, faults, pattern.NewLFSR(seed), fsim.Options{MaxPatterns: patterns, DropFaults: true})
+func report(ctx context.Context, orig, mod *netlist.Circuit, faults []fault.Fault, patterns int, seed uint64) error {
+	before, err := fsim.RunContext(ctx, orig, faults, pattern.NewLFSR(seed), fsim.Options{MaxPatterns: patterns, DropFaults: true})
 	if err != nil {
 		return err
 	}
-	after, err := fsim.Run(mod, faults, pattern.NewLFSR(seed), fsim.Options{MaxPatterns: patterns, DropFaults: true})
+	after, err := fsim.RunContext(ctx, mod, faults, pattern.NewLFSR(seed), fsim.Options{MaxPatterns: patterns, DropFaults: true})
 	if err != nil {
 		return err
 	}

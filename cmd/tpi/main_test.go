@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
@@ -23,23 +24,23 @@ func TestRunModes(t *testing.T) {
 			gen = "cone:width=8"
 		}
 		out := filepath.Join(t.TempDir(), "out.bench")
-		if err := run("", gen, tc.mode, tc.planner, 2, 1, 1, 0, 256, 1, out, false); err != nil {
+		if err := run(context.Background(), "", gen, tc.mode, tc.planner, 2, 1, 1, 0, 256, 1, out, false); err != nil {
 			t.Errorf("mode %s planner %s: %v", tc.mode, tc.planner, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "cuts", "dp", 2, 0, 0, 0, 64, 1, "", false); err == nil {
+	if err := run(context.Background(), "", "", "cuts", "dp", 2, 0, 0, 0, 64, 1, "", false); err == nil {
 		t.Error("expected error with no circuit source")
 	}
-	if err := run("", "c17", "frob", "dp", 2, 0, 0, 0, 64, 1, "", false); err == nil {
+	if err := run(context.Background(), "", "c17", "frob", "dp", 2, 0, 0, 0, 64, 1, "", false); err == nil {
 		t.Error("expected error for unknown mode")
 	}
-	if err := run("", "c17", "cuts", "frob", 2, 0, 0, 0, 64, 1, "", false); err == nil {
+	if err := run(context.Background(), "", "c17", "cuts", "frob", 2, 0, 0, 0, 64, 1, "", false); err == nil {
 		t.Error("expected error for unknown planner")
 	}
-	if err := run("", "c17", "cuts", "dp", 2, 0, 0, 0, 64, 1, "", false); err == nil {
+	if err := run(context.Background(), "", "c17", "cuts", "dp", 2, 0, 0, 0, 64, 1, "", false); err == nil {
 		t.Error("expected error planning cuts on reconvergent c17")
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -32,7 +33,7 @@ func TestMalformedBenchRejected(t *testing.T) {
 	for _, tc := range malformedBenchCases {
 		t.Run(tc.name, func(t *testing.T) {
 			p := writeBenchFile(t, tc.src)
-			if err := run(p, "", "hybrid", "dp", 2, 1, 1, 0, 64, 1, "", false); err == nil {
+			if err := run(context.Background(), p, "", "hybrid", "dp", 2, 1, 1, 0, 64, 1, "", false); err == nil {
 				t.Errorf("expected error for %s input", tc.name)
 			}
 		})
@@ -41,10 +42,10 @@ func TestMalformedBenchRejected(t *testing.T) {
 
 func TestLintRejectsStuckCircuit(t *testing.T) {
 	p := writeBenchFile(t, "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nna = NOT(a)\nk = AND(a, na)\nz = OR(b, k)\n")
-	if err := run(p, "", "hybrid", "dp", 2, 1, 1, 0, 64, 1, "", true); err == nil {
+	if err := run(context.Background(), p, "", "hybrid", "dp", 2, 1, 1, 0, 64, 1, "", true); err == nil {
 		t.Error("expected -lint to reject the stuck-constant circuit")
 	}
-	if err := run(p, "", "hybrid", "dp", 2, 1, 1, 0, 64, 1, "", false); err != nil {
+	if err := run(context.Background(), p, "", "hybrid", "dp", 2, 1, 1, 0, 64, 1, "", false); err != nil {
 		t.Errorf("without -lint the circuit should still load: %v", err)
 	}
 }

@@ -6,6 +6,7 @@
 package atpg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -112,10 +113,24 @@ type engine struct {
 	cone       []bool  // fanout cone of f.Gate: signals that may carry the fault effect
 	implied    []Value // fault-free values forced by the current assignment
 	impTouched []int   // signals set in implied, for O(touched) reset
+
+	// done aborts the search when it becomes readable (nil = never);
+	// ctxErr records ctx.Err() when that happened.
+	ctx    context.Context
+	done   <-chan struct{}
+	ctxErr error
 }
 
 // Generate runs PODEM for a single stuck-at fault.
 func Generate(c *netlist.Circuit, f fault.Fault, opts Options) (*Result, error) {
+	return GenerateContext(context.Background(), c, f, opts)
+}
+
+// GenerateContext is Generate with cancellation: the context is polled
+// once per decision of the search loop, so an expired or cancelled
+// context stops the search within one imply/backtrace step. It returns
+// nil and ctx.Err() when cancelled mid-search.
+func GenerateContext(ctx context.Context, c *netlist.Circuit, f fault.Fault, opts Options) (*Result, error) {
 	if f.Gate < 0 || f.Gate >= c.NumGates() {
 		return nil, fmt.Errorf("atpg: fault %v: gate out of range", f)
 	}
@@ -133,6 +148,8 @@ func Generate(c *netlist.Circuit, f fault.Fault, opts Options) (*Result, error) 
 		bad:    make([]Value, c.NumGates()),
 		assign: make([]Value, c.NumInputs()),
 		limit:  limit,
+		ctx:    ctx,
+		done:   ctx.Done(),
 	}
 	if opts.Learn != nil && opts.Learn.Circuit() == c {
 		e.learn = opts.Learn
@@ -148,6 +165,9 @@ func Generate(c *netlist.Circuit, f fault.Fault, opts Options) (*Result, error) 
 		}
 	}
 	ok, aborted := e.search()
+	if e.ctxErr != nil {
+		return nil, e.ctxErr
+	}
 	res := &Result{Backtracks: e.backs}
 	switch {
 	case ok:
@@ -473,6 +493,12 @@ func (e *engine) search() (found, aborted bool) {
 	var stack []decision
 	e.imply()
 	for {
+		select {
+		case <-e.done:
+			e.ctxErr = e.ctx.Err()
+			return false, true
+		default:
+		}
 		if e.detected() {
 			return true, false
 		}
@@ -528,6 +554,14 @@ var ErrNoFaults = errors.New("atpg: empty fault list")
 // simulated against the remaining faults so that incidentally-detected
 // faults are dropped without their own PODEM run.
 func GenerateTests(c *netlist.Circuit, faults []fault.Fault, opts Options) (*TestSet, error) {
+	return GenerateTestsContext(context.Background(), c, faults, opts)
+}
+
+// GenerateTestsContext is GenerateTests with cancellation: the context is
+// checked between per-fault PODEM runs and inside each run's decision
+// loop. On cancellation the partial TestSet built so far (every vector in
+// it is a complete, valid test) is returned alongside ctx.Err().
+func GenerateTestsContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, opts Options) (*TestSet, error) {
 	if len(faults) == 0 {
 		return nil, ErrNoFaults
 	}
@@ -535,7 +569,10 @@ func GenerateTests(c *netlist.Circuit, faults []fault.Fault, opts Options) (*Tes
 	remaining := append([]fault.Fault(nil), faults...)
 	for len(remaining) > 0 {
 		target := remaining[0]
-		res, err := Generate(c, target, opts)
+		res, err := GenerateContext(ctx, c, target, opts)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return ts, err
+		}
 		if err != nil {
 			return nil, err
 		}

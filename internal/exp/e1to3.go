@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,9 @@ func treeSuite(cfg Config) []*netlist.Circuit {
 // counts on fanout-free circuits, cross-checked against a compacted
 // PODEM test set (an upper bound that is provably never below the DP
 // count) and, for the smallest instances, the exact set-cover minimum.
-func E1TestCounts(cfg Config) (*Table, error) {
+func E1TestCounts(cfg Config) (*Table, error) { return e1TestCounts(context.Background(), cfg) }
+
+func e1TestCounts(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E1",
 		Title:   "Minimal complete test set sizes on fanout-free circuits (Table 1)",
@@ -53,7 +56,7 @@ func E1TestCounts(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E1 %s: %w", c.Name(), err)
 		}
 		root := c.Outputs()[0]
-		ts, err := atpg.GenerateTests(c, fault.Universe(c), atpg.Options{})
+		ts, err := atpg.GenerateTestsContext(ctx, c, fault.Universe(c), atpg.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E1 %s: %w", c.Name(), err)
 		}
@@ -67,7 +70,9 @@ func E1TestCounts(cfg Config) (*Table, error) {
 // E2Insertion regenerates Table 2: minimax test counts after inserting K
 // full test points, planner by planner. The DP matches the exhaustive
 // optimum; greedy and random trail it.
-func E2Insertion(cfg Config) (*Table, error) {
+func E2Insertion(cfg Config) (*Table, error) { return e2Insertion(context.Background(), cfg) }
+
+func e2Insertion(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E2",
 		Title:   "Test count after inserting K full test points (Table 2)",
@@ -86,7 +91,7 @@ func E2Insertion(cfg Config) (*Table, error) {
 	for _, seed := range seeds {
 		c := gen.RandomTree(seed, leaves, gen.TreeOptions{})
 		for _, k := range ks {
-			dp, err := tpi.PlanCutsDP(c, k)
+			dp, err := tpi.PlanCutsDPContext(ctx, c, k)
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +119,9 @@ func E2Insertion(cfg Config) (*Table, error) {
 
 // E3Sweep regenerates Figure 1: the diminishing-returns curve of optimal
 // test count versus test point budget, with the greedy curve alongside.
-func E3Sweep(cfg Config) (*Series, error) {
+func E3Sweep(cfg Config) (*Series, error) { return e3Sweep(context.Background(), cfg) }
+
+func e3Sweep(ctx context.Context, cfg Config) (*Series, error) {
 	leaves := 200
 	maxK := 16
 	if cfg.Quick {
@@ -126,7 +133,7 @@ func E3Sweep(cfg Config) (*Series, error) {
 	dpLine.Name = "DP (optimal)"
 	grLine.Name = "greedy"
 	for k := 0; k <= maxK; k++ {
-		dp, err := tpi.PlanCutsDP(c, k)
+		dp, err := tpi.PlanCutsDPContext(ctx, c, k)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/atpg"
@@ -15,15 +16,22 @@ import (
 // testableFaults removes PODEM-proven-redundant faults from the collapsed
 // universe, the standard preprocessing step before coverage experiments
 // (aborted faults are conservatively kept).
-func testableFaults(c *netlist.Circuit) []fault.Fault {
+func testableFaults(ctx context.Context, c *netlist.Circuit) ([]fault.Fault, error) {
 	var out []fault.Fault
 	for _, f := range fault.CollapsedUniverse(c) {
-		res, err := atpg.Generate(c, f, atpg.Options{BacktrackLimit: 5000})
-		if err != nil || res.Status != atpg.Redundant {
+		res, err := atpg.GenerateContext(ctx, c, f, atpg.Options{BacktrackLimit: 5000})
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			out = append(out, f) // conservative: treat errors as testable
+			continue
+		}
+		if res.Status != atpg.Redundant {
 			out = append(out, f)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // rpSuite returns the random-pattern-resistant circuits for E4/E5.
@@ -53,8 +61,8 @@ func patternsFor(cfg Config) int {
 
 // coverageUnder fault-simulates the circuit with an LFSR and returns
 // coverage over the given fault list (sites valid in modified circuits).
-func coverageUnder(c *netlist.Circuit, faults []fault.Fault, patterns int, seed uint64) (float64, error) {
-	res, err := fsim.Run(c, faults, pattern.NewLFSR(seed), fsim.Options{MaxPatterns: patterns, DropFaults: true})
+func coverageUnder(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, patterns int, seed uint64) (float64, error) {
+	res, err := fsim.RunContext(ctx, c, faults, pattern.NewLFSR(seed), fsim.Options{MaxPatterns: patterns, DropFaults: true})
 	if err != nil {
 		return 0, err
 	}
@@ -65,7 +73,9 @@ func coverageUnder(c *netlist.Circuit, faults []fault.Fault, patterns int, seed 
 // random test length before and after test point insertion, planner by
 // planner. Real coverage is measured by the fault simulator, not the
 // analytic model.
-func E4Coverage(cfg Config) (*Table, error) {
+func E4Coverage(cfg Config) (*Table, error) { return e4Coverage(context.Background(), cfg) }
+
+func e4Coverage(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E4",
 		Title:   fmt.Sprintf("Fault coverage with %d random patterns, before/after TPI (Table 3)", patternsFor(cfg)),
@@ -79,16 +89,19 @@ func E4Coverage(cfg Config) (*Table, error) {
 	dth := 4.0 / float64(patterns)
 	nCP, nOP := 4, 6
 	for _, c := range rpSuite(cfg) {
-		faults := testableFaults(c)
-		base, err := coverageUnder(c, faults, patterns, 0xbadc0de)
+		faults, err := testableFaults(ctx, c)
 		if err != nil {
 			return nil, err
 		}
-		h, err := tpi.PlanHybrid(c, faults, nCP, nOP, dth, tpi.CPOptions{}, tpi.OPOptions{})
+		base, err := coverageUnder(ctx, c, faults, patterns, 0xbadc0de)
 		if err != nil {
 			return nil, err
 		}
-		hybridFC, err := coverageUnder(h.Modified, faults, patterns, 0xbadc0de)
+		h, err := tpi.PlanHybridContext(ctx, c, faults, nCP, nOP, dth, tpi.CPOptions{}, tpi.OPOptions{})
+		if err != nil {
+			return nil, err
+		}
+		hybridFC, err := coverageUnder(ctx, h.Modified, faults, patterns, 0xbadc0de)
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +113,7 @@ func E4Coverage(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		grFC, err := coverageUnder(grMod, faults, patterns, 0xbadc0de)
+		grFC, err := coverageUnder(ctx, grMod, faults, patterns, 0xbadc0de)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +125,7 @@ func E4Coverage(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rndFC, err := coverageUnder(rndMod, faults, patterns, 0xbadc0de)
+		rndFC, err := coverageUnder(ctx, rndMod, faults, patterns, 0xbadc0de)
 		if err != nil {
 			return nil, err
 		}
@@ -125,21 +138,26 @@ func E4Coverage(cfg Config) (*Table, error) {
 // E5Curve regenerates Figure 2: fault coverage versus applied patterns
 // for a random-pattern-resistant circuit, original versus test-point-
 // modified — the curve shape that motivates test point insertion.
-func E5Curve(cfg Config) (*Series, error) {
+func E5Curve(cfg Config) (*Series, error) { return e5Curve(context.Background(), cfg) }
+
+func e5Curve(ctx context.Context, cfg Config) (*Series, error) {
 	patterns := patternsFor(cfg)
 	c := gen.RPResistant(7, 3, 14, 120)
 	if cfg.Quick {
 		c = gen.RPResistant(7, 2, 10, 40)
 	}
-	faults := testableFaults(c)
+	faults, err := testableFaults(ctx, c)
+	if err != nil {
+		return nil, err
+	}
 	dth := 4.0 / float64(patterns)
-	h, err := tpi.PlanHybrid(c, faults, 4, 6, dth, tpi.CPOptions{}, tpi.OPOptions{})
+	h, err := tpi.PlanHybridContext(ctx, c, faults, 4, 6, dth, tpi.CPOptions{}, tpi.OPOptions{})
 	if err != nil {
 		return nil, err
 	}
 	step := patterns / 16
 	curve := func(ckt *netlist.Circuit) ([]Point, error) {
-		res, err := fsim.Run(ckt, faults, pattern.NewLFSR(0xbadc0de), fsim.Options{MaxPatterns: patterns, DropFaults: true})
+		res, err := fsim.RunContext(ctx, ckt, faults, pattern.NewLFSR(0xbadc0de), fsim.Options{MaxPatterns: patterns, DropFaults: true})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,7 +16,9 @@ import (
 // E6Scaling regenerates Table 4: planner work versus circuit size at a
 // fixed budget, demonstrating the polynomial DP against the exponential
 // exhaustive search.
-func E6Scaling(cfg Config) (*Table, error) {
+func E6Scaling(cfg Config) (*Table, error) { return e6Scaling(context.Background(), cfg) }
+
+func e6Scaling(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E6",
 		Title:   "Planner scaling at K=4 full test points (Table 4)",
@@ -34,7 +37,7 @@ func E6Scaling(cfg Config) (*Table, error) {
 		var dp *tpi.CutPlan
 		dpTime, err := timeIt(func() error {
 			var e error
-			dp, e = tpi.PlanCutsDP(c, k)
+			dp, e = tpi.PlanCutsDPContext(ctx, c, k)
 			return e
 		})
 		if err != nil {
@@ -75,7 +78,9 @@ func E6Scaling(cfg Config) (*Table, error) {
 // E7Reduction regenerates Table 5: the Set Cover reduction checked end to
 // end — the brute-force TPI optimum equals the Set Cover optimum on every
 // instance, and gadget sizes stay polynomial.
-func E7Reduction(cfg Config) (*Table, error) {
+func E7Reduction(cfg Config) (*Table, error) { return e7Reduction(context.Background(), cfg) }
+
+func e7Reduction(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E7",
 		Title:   "Set Cover -> TPI reduction equivalence (Table 5)",
@@ -93,6 +98,9 @@ func E7Reduction(cfg Config) (*Table, error) {
 		instances = instances[:2]
 	}
 	for _, in := range instances {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sc := npc.RandomInstance(in.seed, in.elems, in.sets, in.m)
 		red, err := npc.Reduce(sc)
 		if err != nil {
@@ -111,7 +119,9 @@ func E7Reduction(cfg Config) (*Table, error) {
 
 // E8Ablations regenerates Table 6: the design-choice ablations DESIGN.md
 // calls out.
-func E8Ablations(cfg Config) (*Table, error) {
+func E8Ablations(cfg Config) (*Table, error) { return e8Ablations(context.Background(), cfg) }
+
+func e8Ablations(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E8",
 		Title:   "Design ablations (Table 6)",
@@ -124,7 +134,7 @@ func E8Ablations(cfg Config) (*Table, error) {
 		leaves = 60
 	}
 	tree := gen.RandomTree(5, leaves, gen.TreeOptions{})
-	dp, err := tpi.PlanCutsDP(tree, 8)
+	dp, err := tpi.PlanCutsDPContext(ctx, tree, 8)
 	if err != nil {
 		return nil, err
 	}
@@ -146,12 +156,12 @@ func E8Ablations(cfg Config) (*Table, error) {
 	patterns := patternsFor(cfg) / 2
 	dth := 4.0 / float64(patterns)
 	faults := fault.CollapsedUniverse(c)
-	base, err := coverageUnder(c, faults, patterns, 0xfeed)
+	base, err := coverageUnder(ctx, c, faults, patterns, 0xfeed)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("b: point mix", "none", "coverage", base)
-	cpOnly, err := tpi.PlanControlPointsGreedy(c, faults, 6, dth, tpi.CPOptions{})
+	cpOnly, err := tpi.PlanControlPointsGreedyContext(ctx, c, faults, 6, dth, tpi.CPOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -159,12 +169,12 @@ func E8Ablations(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	cpFC, err := coverageUnder(cpMod, faults, patterns, 0xfeed)
+	cpFC, err := coverageUnder(ctx, cpMod, faults, patterns, 0xfeed)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("b: point mix", fmt.Sprintf("control only (%d)", len(cpOnly.Points)), "coverage", cpFC)
-	opOnly, err := tpi.PlanObservationPointsDP(c, faults, 6, dth, tpi.OPOptions{})
+	opOnly, err := tpi.PlanObservationPointsDPContext(ctx, c, faults, 6, dth, tpi.OPOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -172,16 +182,16 @@ func E8Ablations(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	opFC, err := coverageUnder(opMod, faults, patterns, 0xfeed)
+	opFC, err := coverageUnder(ctx, opMod, faults, patterns, 0xfeed)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("b: point mix", fmt.Sprintf("observe only (%d)", len(opOnly.Points)), "coverage", opFC)
-	h, err := tpi.PlanHybrid(c, faults, 3, 3, dth, tpi.CPOptions{}, tpi.OPOptions{})
+	h, err := tpi.PlanHybridContext(ctx, c, faults, 3, 3, dth, tpi.CPOptions{}, tpi.OPOptions{})
 	if err != nil {
 		return nil, err
 	}
-	hFC, err := coverageUnder(h.Modified, faults, patterns, 0xfeed)
+	hFC, err := coverageUnder(ctx, h.Modified, faults, patterns, 0xfeed)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +206,7 @@ func E8Ablations(cfg Config) (*Table, error) {
 	dfaults := fault.CollapsedUniverse(dag)
 	var detWith, detWithout int
 	dWith, err := timeIt(func() error {
-		r, e := fsim.Run(dag, dfaults, pattern.NewLFSR(3), fsim.Options{MaxPatterns: patterns, DropFaults: true})
+		r, e := fsim.RunContext(ctx, dag, dfaults, pattern.NewLFSR(3), fsim.Options{MaxPatterns: patterns, DropFaults: true})
 		if e == nil {
 			detWith = len(r.FirstDetect)
 		}
@@ -206,7 +216,7 @@ func E8Ablations(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	dWithout, err := timeIt(func() error {
-		r, e := fsim.Run(dag, dfaults, pattern.NewLFSR(3), fsim.Options{MaxPatterns: patterns, DropFaults: false})
+		r, e := fsim.RunContext(ctx, dag, dfaults, pattern.NewLFSR(3), fsim.Options{MaxPatterns: patterns, DropFaults: false})
 		if e == nil {
 			detWithout = len(r.FirstDetect)
 		}
@@ -224,11 +234,11 @@ func E8Ablations(cfg Config) (*Table, error) {
 
 	// (d) collapsed vs uncollapsed universe: coverage must agree.
 	full := fault.Universe(dag)
-	rFull, err := fsim.Run(dag, full, pattern.NewLFSR(3), fsim.Options{MaxPatterns: patterns, DropFaults: true})
+	rFull, err := fsim.RunContext(ctx, dag, full, pattern.NewLFSR(3), fsim.Options{MaxPatterns: patterns, DropFaults: true})
 	if err != nil {
 		return nil, err
 	}
-	rCol, err := fsim.Run(dag, dfaults, pattern.NewLFSR(3), fsim.Options{MaxPatterns: patterns, DropFaults: true})
+	rCol, err := fsim.RunContext(ctx, dag, dfaults, pattern.NewLFSR(3), fsim.Options{MaxPatterns: patterns, DropFaults: true})
 	if err != nil {
 		return nil, err
 	}
@@ -237,53 +247,42 @@ func E8Ablations(cfg Config) (*Table, error) {
 	return t, nil
 }
 
+// Experiment is one entry of the reconstructed evaluation: an ID (as
+// used by DESIGN.md and `experiments -only`) plus its cancellable runner.
+type Experiment struct {
+	ID  string
+	Run func(ctx context.Context, cfg Config) (Renderable, error)
+}
+
+// Experiments returns the evaluation in run order. Every runner threads
+// its context into the engine loops it drives (PODEM, fault simulation,
+// the planners), so a cancelled context stops an experiment mid-table.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"E1", func(ctx context.Context, cfg Config) (Renderable, error) { return e1TestCounts(ctx, cfg) }},
+		{"E2", func(ctx context.Context, cfg Config) (Renderable, error) { return e2Insertion(ctx, cfg) }},
+		{"E3", func(ctx context.Context, cfg Config) (Renderable, error) { return e3Sweep(ctx, cfg) }},
+		{"E4", func(ctx context.Context, cfg Config) (Renderable, error) { return e4Coverage(ctx, cfg) }},
+		{"E5", func(ctx context.Context, cfg Config) (Renderable, error) { return e5Curve(ctx, cfg) }},
+		{"E6", func(ctx context.Context, cfg Config) (Renderable, error) { return e6Scaling(ctx, cfg) }},
+		{"E7", func(ctx context.Context, cfg Config) (Renderable, error) { return e7Reduction(ctx, cfg) }},
+		{"E8", func(ctx context.Context, cfg Config) (Renderable, error) { return e8Ablations(ctx, cfg) }},
+		{"E9", func(ctx context.Context, cfg Config) (Renderable, error) { return e9ScanTestTime(ctx, cfg) }},
+	}
+}
+
 // All runs every experiment and returns the renderables in order.
-func All(cfg Config) ([]Renderable, error) {
+func All(cfg Config) ([]Renderable, error) { return AllContext(context.Background(), cfg) }
+
+// AllContext is All with cancellation between and within experiments.
+func AllContext(ctx context.Context, cfg Config) ([]Renderable, error) {
 	var out []Renderable
-	e1, err := E1TestCounts(cfg)
-	if err != nil {
-		return nil, err
+	for _, e := range Experiments() {
+		r, err := e.Run(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, r)
 	}
-	out = append(out, e1)
-	e2, err := E2Insertion(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, e2)
-	e3, err := E3Sweep(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, e3)
-	e4, err := E4Coverage(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, e4)
-	e5, err := E5Curve(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, e5)
-	e6, err := E6Scaling(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, e6)
-	e7, err := E7Reduction(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, e7)
-	e8, err := E8Ablations(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, e8)
-	e9, err := E9ScanTestTime(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, e9)
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fsim"
@@ -32,7 +33,9 @@ func patternsToTarget(res *fsim.Result, total int, target float64) int {
 // needed to reach a coverage target, multiplied into scan cycles by the
 // chain shift cost. This is the economic argument the 1987 paper's
 // budget-constrained formulation serves.
-func E9ScanTestTime(cfg Config) (*Table, error) {
+func E9ScanTestTime(cfg Config) (*Table, error) { return e9ScanTestTime(context.Background(), cfg) }
+
+func e9ScanTestTime(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E9",
 		Title:   "Scan test time to reach a coverage target, before/after TPI (extension)",
@@ -63,16 +66,19 @@ func E9ScanTestTime(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		faults := testableFaults(core)
-		before, err := fsim.Run(core, faults, pattern.NewLFSR(0xfab), fsim.Options{MaxPatterns: budget, DropFaults: true})
+		faults, err := testableFaults(ctx, core)
 		if err != nil {
 			return nil, err
 		}
-		plan, err := tpi.PlanHybrid(core, faults, 3, 4, 64.0/float64(budget), tpi.CPOptions{}, tpi.OPOptions{})
+		before, err := fsim.RunContext(ctx, core, faults, pattern.NewLFSR(0xfab), fsim.Options{MaxPatterns: budget, DropFaults: true})
 		if err != nil {
 			return nil, err
 		}
-		after, err := fsim.Run(plan.Modified, faults, pattern.NewLFSR(0xfab), fsim.Options{MaxPatterns: budget, DropFaults: true})
+		plan, err := tpi.PlanHybridContext(ctx, core, faults, 3, 4, 64.0/float64(budget), tpi.CPOptions{}, tpi.OPOptions{})
+		if err != nil {
+			return nil, err
+		}
+		after, err := fsim.RunContext(ctx, plan.Modified, faults, pattern.NewLFSR(0xfab), fsim.Options{MaxPatterns: budget, DropFaults: true})
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@
 package fsim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -241,6 +242,16 @@ func (s *simulator) propagate(mask uint64, det uint64) uint64 {
 
 // Run fault-simulates the given fault list against patterns from src.
 func Run(c *netlist.Circuit, faults []fault.Fault, src pattern.Source, opts Options) (*Result, error) {
+	return RunContext(context.Background(), c, faults, src, opts)
+}
+
+// RunContext is Run with cancellation: the done channel is polled once
+// per 64-pattern block, so an expired or cancelled context stops the run
+// within one batch of work. On cancellation the partial Result
+// accumulated over the completed blocks is returned alongside ctx.Err();
+// every FirstDetect entry in it is valid (detection indices never depend
+// on the faults not yet simulated).
+func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, src pattern.Source, opts Options) (*Result, error) {
 	if opts.MaxPatterns <= 0 {
 		opts.MaxPatterns = 32768
 	}
@@ -263,9 +274,19 @@ func Run(c *netlist.Circuit, faults []fault.Fault, src pattern.Source, opts Opti
 	active := make([]fault.Fault, len(faults))
 	copy(active, faults)
 
+	// ctx.Done() is nil for context.Background(), so the polls below
+	// compile to a never-ready select arm and cost nothing on the
+	// non-cancellable path.
+	done := ctx.Done()
 	words := make([]uint64, c.NumInputs())
 	base := 0
 	for base < opts.MaxPatterns && len(active) > 0 {
+		select {
+		case <-done:
+			res.Patterns = base
+			return res, ctx.Err()
+		default:
+		}
 		n := src.FillBlock(words)
 		if n == 0 {
 			break

@@ -1,6 +1,8 @@
 package fsim
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 
@@ -24,6 +26,14 @@ import (
 // dominates (large fault lists, early in a run before dropping thins
 // them); tiny workloads are better served by Run.
 func RunParallel(c *netlist.Circuit, faults []fault.Fault, src func() pattern.Source, workers int, opts Options) (*Result, error) {
+	return RunParallelContext(context.Background(), c, faults, src, workers, opts)
+}
+
+// RunParallelContext is RunParallel with cancellation: every worker polls
+// the context per pattern block (see RunContext). On cancellation the
+// workers' partial results are merged and returned alongside ctx.Err();
+// any other worker error discards the results as before.
+func RunParallelContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, src func() pattern.Source, workers int, opts Options) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -31,7 +41,7 @@ func RunParallel(c *netlist.Circuit, faults []fault.Fault, src func() pattern.So
 		workers = len(faults)
 	}
 	if workers <= 1 {
-		return Run(c, faults, src(), opts)
+		return RunContext(ctx, c, faults, src(), opts)
 	}
 	// Interleaved partition keeps hard and easy faults spread evenly, so
 	// workers finish together under fault dropping.
@@ -46,12 +56,17 @@ func RunParallel(c *netlist.Circuit, faults []fault.Fault, src func() pattern.So
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w], errs[w] = Run(c, parts[w], src(), opts)
+			results[w], errs[w] = RunContext(ctx, c, parts[w], src(), opts)
 		}(w)
 	}
 	wg.Wait()
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			ctxErr = err
+		default:
 			return nil, err
 		}
 	}
@@ -63,6 +78,9 @@ func RunParallel(c *netlist.Circuit, faults []fault.Fault, src func() pattern.So
 		merged.DetectCount = make(map[fault.Fault]int)
 	}
 	for _, r := range results {
+		if r == nil {
+			continue
+		}
 		if r.Patterns > merged.Patterns {
 			merged.Patterns = r.Patterns
 		}
@@ -73,5 +91,5 @@ func RunParallel(c *netlist.Circuit, faults []fault.Fault, src func() pattern.So
 			merged.DetectCount[f] = n
 		}
 	}
-	return merged, nil
+	return merged, ctxErr
 }

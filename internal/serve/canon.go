@@ -1,0 +1,102 @@
+// Package serve exposes the repro engines — test point planning, fault
+// simulation, ATPG, and netlist lint — as an HTTP/JSON service with a
+// bounded worker pool, per-request deadlines, and a content-addressed
+// result cache.
+//
+// Caching correctness rests on two invariants enforced here:
+//
+//  1. Cache keys are content-addressed over a *canonical* form of the
+//     request, not its wire bytes: the netlist is parsed and re-rendered
+//     through bench.Write (fixed header, topological gate order, fixed
+//     mnemonics), and the options are decoded into a typed struct,
+//     defaulted, and re-marshalled (fixed field order). Two requests
+//     that differ only in whitespace, key order, or explicitly-spelled
+//     defaults therefore share a key. The per-request timeout is
+//     excluded from the key because it does not affect the result.
+//
+//  2. Responses are rendered to JSON once, by the engine execution that
+//     populated the cache, and the stored bytes are replayed verbatim
+//     on hits — cache hits are byte-identical to the cold response.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/netlist"
+)
+
+// netlistRequest is the common request envelope: every engine endpoint
+// accepts a circuit as either inline .bench text or a generator spec,
+// plus endpoint-specific options.
+type netlistRequest struct {
+	// Bench is inline .bench netlist text.
+	Bench string `json:"bench,omitempty"`
+	// Generate is a generator spec ("kind:key=value,..."), e.g.
+	// "dag:gates=600,seed=7" — see internal/cli.Generate.
+	Generate string `json:"generate,omitempty"`
+	// Options carries endpoint-specific options, decoded by the
+	// endpoint handler.
+	Options json.RawMessage `json:"options,omitempty"`
+}
+
+var errNoCircuit = errors.New(`request must set exactly one of "bench" or "generate"`)
+
+// requestName is the fixed circuit name given to inline bench uploads so
+// that uploads differing only in formatting canonicalize identically
+// (bench.Write embeds the circuit name in its header).
+const requestName = "request"
+
+// parseCircuit materializes the request's circuit. Generator specs are
+// deterministic, so both forms canonicalize through bench.Write.
+func parseCircuit(req *netlistRequest) (*netlist.Circuit, error) {
+	switch {
+	case req.Bench != "" && req.Generate != "":
+		return nil, errNoCircuit
+	case req.Bench != "":
+		c, err := bench.ParseString(req.Bench, requestName)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case req.Generate != "":
+		return cli.Generate(req.Generate)
+	default:
+		return nil, errNoCircuit
+	}
+}
+
+// canonicalNetlist renders the circuit in canonical .bench form: the
+// content-addressed half of every cache key.
+func canonicalNetlist(c *netlist.Circuit) (string, error) {
+	var b strings.Builder
+	if err := bench.Write(&b, c); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// cacheKey derives the content address for one engine invocation:
+// SHA-256 over the endpoint name, the canonical netlist, and the
+// canonicalized (defaulted, timeout-stripped) options. opts must be a
+// struct so its JSON encoding has a fixed field order.
+func cacheKey(endpoint, canonNetlist string, opts any) (string, error) {
+	oj, err := json.Marshal(opts)
+	if err != nil {
+		return "", fmt.Errorf("serve: canonicalize options: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%d\n", endpoint, len(canonNetlist))
+	h.Write([]byte(canonNetlist))
+	h.Write(oj)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

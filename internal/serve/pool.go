@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool implemented as a counting semaphore.
+// Engine executions acquire a slot before running, so at most Workers
+// CPU-bound computations run concurrently no matter how many requests
+// are in flight; cache hits never touch the pool. Acquire is
+// cancellable, so a request abandoned while queued frees no slot and
+// stops waiting immediately.
+type Pool struct {
+	sem     chan struct{}
+	workers int
+	running atomic.Int64
+	queued  atomic.Int64
+}
+
+// NewPool returns a pool with n worker slots (n < 1 is treated as 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n), workers: n}
+}
+
+// Acquire blocks until a worker slot is free or ctx is done.
+func (p *Pool) Acquire(ctx context.Context) error {
+	p.queued.Add(1)
+	defer p.queued.Add(-1)
+	select {
+	case p.sem <- struct{}{}:
+		p.running.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot acquired with Acquire.
+func (p *Pool) Release() {
+	p.running.Add(-1)
+	<-p.sem
+}
+
+// PoolStats is a point-in-time snapshot of pool occupancy.
+type PoolStats struct {
+	Workers int   `json:"workers"`
+	Running int64 `json:"running"`
+	Queued  int64 `json:"queued"`
+}
+
+// Stats snapshots the pool gauges. Queued counts requests inside
+// Acquire, i.e. waiting for a slot (briefly including ones about to get
+// one).
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Workers: p.workers, Running: p.running.Load(), Queued: p.queued.Load()}
+}

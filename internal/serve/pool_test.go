@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond for up to two seconds; shared across the package's
+// concurrency tests.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(2)
+	ctx := context.Background()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Running != 2 || st.Workers != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Third acquire must block until a slot frees.
+	got := make(chan error, 1)
+	go func() { got <- p.Acquire(ctx) }()
+	waitFor(t, func() bool { return p.Stats().Queued == 1 })
+	p.Release()
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	p.Release()
+	if st := p.Stats(); st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}
+
+func TestPoolAcquireCancelled(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- p.Acquire(ctx) }()
+	waitFor(t, func() bool { return p.Stats().Queued == 1 })
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if st := p.Stats(); st.Running != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, cancelled acquire leaked", st)
+	}
+	p.Release()
+}
+
+func TestPoolMinimumOneWorker(t *testing.T) {
+	p := NewPool(0)
+	if p.Stats().Workers != 1 {
+		t.Fatalf("workers = %d, want 1", p.Stats().Workers)
+	}
+}

@@ -1,0 +1,594 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/lint"
+	"repro/internal/netlist"
+	"repro/internal/pattern"
+	"repro/internal/tpi"
+
+	"repro/internal/atpg"
+)
+
+// statusClientClosed is the status class recorded when the client went
+// away before a response could be written (nginx's 499 convention; it
+// is never sent on the wire).
+const statusClientClosed = 499
+
+// Config configures a Server. Zero values select defaults.
+type Config struct {
+	// Workers bounds concurrent engine executions (default GOMAXPROCS).
+	Workers int
+	// CacheBytes bounds the result cache (default 64 MiB).
+	CacheBytes int64
+	// RequestTimeout is the per-request deadline (default 30s). A
+	// request's options.timeout_ms may shorten but never extend it.
+	RequestTimeout time.Duration
+	// MaxBody bounds request body size (default 8 MiB).
+	MaxBody int64
+}
+
+// Server serves the repro engines over HTTP/JSON. Create with New and
+// mount Handler.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	metrics *Metrics
+	start   time.Time
+}
+
+// New returns a Server with defaults applied.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 8 << 20
+	}
+	return &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers),
+		cache:   NewCache(cfg.CacheBytes),
+		metrics: NewMetrics(),
+		start:   time.Now(),
+	}
+}
+
+// Handler returns the service mux: the four engine endpoints plus
+// /healthz and /v1/stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/plan", s.engineHandler("/v1/plan", parsePlan))
+	mux.HandleFunc("/v1/faultsim", s.engineHandler("/v1/faultsim", parseFaultsim))
+	mux.HandleFunc("/v1/atpg", s.engineHandler("/v1/atpg", parseATPG))
+	mux.HandleFunc("/v1/lint", s.engineHandler("/v1/lint", parseLint))
+	return mux
+}
+
+// Stats is the /v1/stats (and expvar) payload.
+type Stats struct {
+	UptimeSeconds float64                     `json:"uptime_s"`
+	InFlight      int64                       `json:"in_flight"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Cache         CacheStats                  `json:"cache"`
+	Pool          PoolStats                   `json:"pool"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      s.metrics.inFlight.Load(),
+		Endpoints:     s.metrics.Snapshot(),
+		Cache:         s.cache.Stats(),
+		Pool:          s.pool.Stats(),
+	}
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the service counters under the expvar key
+// "serve" (visible at /debug/vars when the expvar handler is mounted).
+// Only the serving binary should call this; the package-level expvar
+// registry panics on duplicate names, so publication is once-guarded
+// and later servers in the same process are ignored.
+func (s *Server) PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("serve", expvar.Func(func() any { return s.Stats() }))
+	})
+}
+
+// testHookCompute, when set, is invoked by the cache-miss leader after
+// it acquires a worker slot and immediately before the engine runs.
+// Tests use it to count and coordinate engine executions.
+var testHookCompute func(endpoint string)
+
+// runFunc executes one engine invocation against the parsed circuit.
+type runFunc func(ctx context.Context, c *netlist.Circuit) (any, error)
+
+// parseFunc decodes endpoint options: it returns the canonicalized
+// options value hashed into the cache key (timeout stripped), the
+// requested timeout in milliseconds (0 = server default), and the
+// engine runner.
+type parseFunc func(raw json.RawMessage) (keyOpts any, timeoutMS int, run runFunc, err error)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+	s.metrics.record("/healthz", http.StatusOK, time.Since(start).Milliseconds())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+	s.metrics.record("/v1/stats", http.StatusOK, time.Since(start).Milliseconds())
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// engineHandler wraps one engine endpoint with the shared request glue:
+// body limit, envelope decode, circuit canonicalization, cache lookup
+// with single-flight, worker pool admission, deadline handling, and
+// metrics.
+func (s *Server) engineHandler(name string, parse parseFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inFlight.Add(1)
+		status := http.StatusOK
+		defer func() {
+			s.metrics.inFlight.Add(-1)
+			s.metrics.record(name, status, time.Since(start).Milliseconds())
+		}()
+
+		if r.Method != http.MethodPost {
+			status = http.StatusMethodNotAllowed
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, status, "POST required")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+		var req netlistRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				status = http.StatusRequestEntityTooLarge
+			} else {
+				status = http.StatusBadRequest
+			}
+			writeError(w, status, "decode request: "+err.Error())
+			return
+		}
+		c, err := parseCircuit(&req)
+		if err != nil {
+			status = http.StatusBadRequest
+			writeError(w, status, err.Error())
+			return
+		}
+		keyOpts, timeoutMS, run, err := parse(req.Options)
+		if err != nil {
+			status = http.StatusBadRequest
+			writeError(w, status, "decode options: "+err.Error())
+			return
+		}
+		canon, err := canonicalNetlist(c)
+		if err != nil {
+			status = http.StatusInternalServerError
+			writeError(w, status, err.Error())
+			return
+		}
+		key, err := cacheKey(name, canon, keyOpts)
+		if err != nil {
+			status = http.StatusInternalServerError
+			writeError(w, status, err.Error())
+			return
+		}
+
+		timeout := s.cfg.RequestTimeout
+		if timeoutMS > 0 {
+			if d := time.Duration(timeoutMS) * time.Millisecond; d < timeout {
+				timeout = d
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		val, hit, err := s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
+			if err := s.pool.Acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.pool.Release()
+			if h := testHookCompute; h != nil {
+				h(name)
+			}
+			out, err := run(ctx, c)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(out)
+		})
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+			writeError(w, status, "deadline exceeded before the engine finished")
+			return
+		case errors.Is(err, context.Canceled):
+			// The client disconnected; there is no one to write to.
+			status = statusClientClosed
+			return
+		default:
+			status = http.StatusBadRequest
+			writeError(w, status, err.Error())
+			return
+		}
+
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		if hit {
+			h.Set("X-Cache", "hit")
+		} else {
+			h.Set("X-Cache", "miss")
+		}
+		w.Write(val)
+	}
+}
+
+// circuitInfo is the common response header describing the circuit the
+// engine ran on.
+type circuitInfo struct {
+	Name    string `json:"name"`
+	Gates   int    `json:"gates"`
+	Inputs  int    `json:"inputs"`
+	Outputs int    `json:"outputs"`
+}
+
+func describe(c *netlist.Circuit) circuitInfo {
+	return circuitInfo{
+		Name:    c.Name(),
+		Gates:   c.NumGates(),
+		Inputs:  c.NumInputs(),
+		Outputs: c.NumOutputs(),
+	}
+}
+
+// ---- /v1/plan ----
+
+// planOptions selects and parameterizes a test point planner. Field
+// order is the canonical options encoding — do not reorder.
+type planOptions struct {
+	// Planner is one of "cuts" (P1 full-test-point DP), "observe" (P2
+	// observation point DP), "control" (greedy control points), or
+	// "hybrid" (control then observe; the default).
+	Planner string `json:"planner"`
+	// K is the cut budget for "cuts" (default 4).
+	K int `json:"k"`
+	// NCP / NOP are the control / observation point budgets for
+	// "control", "observe", and "hybrid" (defaults 3 / 4).
+	NCP int `json:"ncp"`
+	NOP int `json:"nop"`
+	// Dth is the COP detection-probability threshold (default 1/4096).
+	Dth float64 `json:"dth"`
+	// TimeoutMS optionally shortens the server request deadline. It is
+	// excluded from the cache key.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type testPointJSON struct {
+	Signal string `json:"signal"`
+	Kind   string `json:"kind"`
+}
+
+type planResponse struct {
+	Circuit       circuitInfo     `json:"circuit"`
+	Planner       string          `json:"planner"`
+	Points        []testPointJSON `json:"points"`
+	MaxCost       int             `json:"max_cost,omitempty"`
+	BaseCost      int             `json:"base_cost,omitempty"`
+	CoveredBefore int             `json:"covered_before,omitempty"`
+	CoveredAfter  int             `json:"covered_after,omitempty"`
+	TotalFaults   int             `json:"total_faults,omitempty"`
+	PrunedFaults  int             `json:"pruned_faults,omitempty"`
+	StatesVisited int64           `json:"states_visited,omitempty"`
+}
+
+func namedPoints(c *netlist.Circuit, pts []netlist.TestPoint) []testPointJSON {
+	out := make([]testPointJSON, len(pts))
+	for i, p := range pts {
+		out[i] = testPointJSON{Signal: c.GateName(p.Signal), Kind: p.Kind.String()}
+	}
+	return out
+}
+
+func parsePlan(raw json.RawMessage) (any, int, runFunc, error) {
+	opts := planOptions{Planner: "hybrid", K: 4, NCP: 3, NOP: 4, Dth: 1.0 / 4096}
+	if err := decodeOptions(raw, &opts); err != nil {
+		return nil, 0, nil, err
+	}
+	switch opts.Planner {
+	case "cuts", "observe", "control", "hybrid":
+	default:
+		return nil, 0, nil, fmt.Errorf("unknown planner %q", opts.Planner)
+	}
+	timeoutMS := opts.TimeoutMS
+	opts.TimeoutMS = 0
+	run := func(ctx context.Context, c *netlist.Circuit) (any, error) {
+		resp := planResponse{Circuit: describe(c), Planner: opts.Planner}
+		switch opts.Planner {
+		case "cuts":
+			p, err := tpi.PlanCutsDPContext(ctx, c, opts.K)
+			if err != nil {
+				return nil, err
+			}
+			resp.Points = namedPoints(c, p.TestPoints())
+			resp.MaxCost, resp.BaseCost, resp.StatesVisited = p.MaxCost, p.BaseCost, p.StatesVisited
+		case "observe":
+			faults := fault.CollapsedUniverse(c)
+			p, err := tpi.PlanObservationPointsDPContext(ctx, c, faults, opts.NOP, opts.Dth, tpi.OPOptions{})
+			if err != nil {
+				return nil, err
+			}
+			resp.Points = namedPoints(c, p.TestPoints())
+			resp.CoveredBefore, resp.CoveredAfter = p.CoveredBefore, p.CoveredAfter
+			resp.TotalFaults, resp.StatesVisited = p.TotalFaults, p.StatesVisited
+		case "control":
+			faults := fault.CollapsedUniverse(c)
+			p, err := tpi.PlanControlPointsGreedyContext(ctx, c, faults, opts.NCP, opts.Dth, tpi.CPOptions{})
+			if err != nil {
+				return nil, err
+			}
+			// Control points are selected against successively modified
+			// circuits, so later points may reference gates inserted by
+			// earlier ones; resolve names against the replayed circuit,
+			// whose gate IDs are a superset of every intermediate.
+			mod, err := p.Apply(c)
+			if err != nil {
+				return nil, err
+			}
+			resp.Points = namedPoints(mod, p.Points)
+			resp.CoveredBefore, resp.CoveredAfter = p.CoveredBefore, p.CoveredAfter
+			resp.TotalFaults, resp.StatesVisited = p.TotalFaults, p.Evaluations
+		case "hybrid":
+			faults := fault.CollapsedUniverse(c)
+			p, err := tpi.PlanHybridContext(ctx, c, faults, opts.NCP, opts.NOP, opts.Dth, tpi.CPOptions{}, tpi.OPOptions{})
+			if err != nil {
+				return nil, err
+			}
+			// Signal IDs from both stages refer to intermediate circuits
+			// (control points to successive control insertions, observe
+			// points to the control-modified circuit); the final Modified
+			// circuit preserves all of their gate IDs and names.
+			resp.Points = append(namedPoints(p.Modified, p.Control.Points), namedPoints(p.Modified, p.Observe.TestPoints())...)
+			resp.CoveredBefore, resp.CoveredAfter = p.Observe.CoveredBefore, p.Observe.CoveredAfter
+			resp.TotalFaults, resp.PrunedFaults = p.Observe.TotalFaults, p.PrunedFaults
+		}
+		return &resp, nil
+	}
+	return opts, timeoutMS, run, nil
+}
+
+// ---- /v1/faultsim ----
+
+type simOptions struct {
+	// Patterns bounds the random test length (default 4096).
+	Patterns int `json:"patterns"`
+	// Source is "lfsr" (default) or "counter" (exhaustive).
+	Source string `json:"source"`
+	// Seed seeds the LFSR (default 1; ignored for "counter").
+	Seed uint64 `json:"seed"`
+	// FullUniverse simulates the uncollapsed fault universe.
+	FullUniverse bool `json:"full_universe"`
+	// KeepFaults disables fault dropping after first detection.
+	KeepFaults bool `json:"keep_faults"`
+	TimeoutMS  int  `json:"timeout_ms,omitempty"`
+}
+
+type detectJSON struct {
+	Fault   string `json:"fault"`
+	Pattern int    `json:"pattern"`
+}
+
+type simResponse struct {
+	Circuit     circuitInfo  `json:"circuit"`
+	Faults      int          `json:"faults"`
+	Patterns    int          `json:"patterns"`
+	Detected    int          `json:"detected"`
+	Coverage    float64      `json:"coverage"`
+	FirstDetect []detectJSON `json:"first_detect"`
+	Undetected  []string     `json:"undetected"`
+}
+
+func parseFaultsim(raw json.RawMessage) (any, int, runFunc, error) {
+	opts := simOptions{Patterns: 4096, Source: "lfsr", Seed: 1}
+	if err := decodeOptions(raw, &opts); err != nil {
+		return nil, 0, nil, err
+	}
+	if opts.Source != "lfsr" && opts.Source != "counter" {
+		return nil, 0, nil, fmt.Errorf("unknown pattern source %q", opts.Source)
+	}
+	if opts.Patterns < 1 {
+		return nil, 0, nil, fmt.Errorf("patterns must be positive, got %d", opts.Patterns)
+	}
+	timeoutMS := opts.TimeoutMS
+	opts.TimeoutMS = 0
+	run := func(ctx context.Context, c *netlist.Circuit) (any, error) {
+		faults := fault.CollapsedUniverse(c)
+		if opts.FullUniverse {
+			faults = fault.Universe(c)
+		}
+		var src pattern.Source = pattern.NewLFSR(opts.Seed)
+		if opts.Source == "counter" {
+			src = pattern.NewCounter(c.NumInputs())
+		}
+		res, err := fsim.RunContext(ctx, c, faults, src, fsim.Options{
+			MaxPatterns: opts.Patterns,
+			DropFaults:  !opts.KeepFaults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp := simResponse{
+			Circuit:     describe(c),
+			Faults:      len(res.Faults),
+			Patterns:    res.Patterns,
+			Detected:    len(res.FirstDetect),
+			Coverage:    res.Coverage(),
+			FirstDetect: make([]detectJSON, 0, len(res.FirstDetect)),
+			Undetected:  []string{},
+		}
+		for f, p := range res.FirstDetect {
+			resp.FirstDetect = append(resp.FirstDetect, detectJSON{Fault: f.Name(c), Pattern: p})
+		}
+		sort.Slice(resp.FirstDetect, func(i, j int) bool {
+			a, b := resp.FirstDetect[i], resp.FirstDetect[j]
+			if a.Pattern != b.Pattern {
+				return a.Pattern < b.Pattern
+			}
+			return a.Fault < b.Fault
+		})
+		for _, f := range res.Undetected() {
+			resp.Undetected = append(resp.Undetected, f.Name(c))
+		}
+		return &resp, nil
+	}
+	return opts, timeoutMS, run, nil
+}
+
+// ---- /v1/atpg ----
+
+type atpgOptions struct {
+	// BacktrackLimit bounds the PODEM search per fault (0 = engine
+	// default, 20000).
+	BacktrackLimit int `json:"backtrack_limit"`
+	// FullUniverse targets the uncollapsed fault universe.
+	FullUniverse bool `json:"full_universe"`
+	TimeoutMS    int  `json:"timeout_ms,omitempty"`
+}
+
+type atpgResponse struct {
+	Circuit         circuitInfo `json:"circuit"`
+	Faults          int         `json:"faults"`
+	Vectors         []string    `json:"vectors"`
+	Detected        int         `json:"detected"`
+	Redundant       int         `json:"redundant"`
+	Aborted         int         `json:"aborted"`
+	RedundantFaults []string    `json:"redundant_faults"`
+	AbortedFaults   []string    `json:"aborted_faults"`
+}
+
+func parseATPG(raw json.RawMessage) (any, int, runFunc, error) {
+	var opts atpgOptions
+	if err := decodeOptions(raw, &opts); err != nil {
+		return nil, 0, nil, err
+	}
+	if opts.BacktrackLimit < 0 {
+		return nil, 0, nil, fmt.Errorf("backtrack_limit must be non-negative, got %d", opts.BacktrackLimit)
+	}
+	timeoutMS := opts.TimeoutMS
+	opts.TimeoutMS = 0
+	run := func(ctx context.Context, c *netlist.Circuit) (any, error) {
+		faults := fault.CollapsedUniverse(c)
+		if opts.FullUniverse {
+			faults = fault.Universe(c)
+		}
+		ts, err := atpg.GenerateTestsContext(ctx, c, faults, atpg.Options{BacktrackLimit: opts.BacktrackLimit})
+		if err != nil {
+			return nil, err
+		}
+		resp := atpgResponse{
+			Circuit:         describe(c),
+			Faults:          len(faults),
+			Vectors:         make([]string, len(ts.Vectors)),
+			Detected:        len(ts.Detected),
+			Redundant:       len(ts.Redundant),
+			Aborted:         len(ts.Aborted),
+			RedundantFaults: []string{},
+			AbortedFaults:   []string{},
+		}
+		for i, v := range ts.Vectors {
+			b := make([]byte, len(v))
+			for j, bit := range v {
+				b[j] = '0'
+				if bit {
+					b[j] = '1'
+				}
+			}
+			resp.Vectors[i] = string(b)
+		}
+		for _, f := range ts.Redundant {
+			resp.RedundantFaults = append(resp.RedundantFaults, f.Name(c))
+		}
+		for _, f := range ts.Aborted {
+			resp.AbortedFaults = append(resp.AbortedFaults, f.Name(c))
+		}
+		return &resp, nil
+	}
+	return opts, timeoutMS, run, nil
+}
+
+// ---- /v1/lint ----
+
+type lintOptions struct {
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type lintResponse struct {
+	Circuit  circuitInfo  `json:"circuit"`
+	Findings int          `json:"findings"`
+	Report   *lint.Report `json:"report"`
+}
+
+func parseLint(raw json.RawMessage) (any, int, runFunc, error) {
+	var opts lintOptions
+	if err := decodeOptions(raw, &opts); err != nil {
+		return nil, 0, nil, err
+	}
+	timeoutMS := opts.TimeoutMS
+	opts.TimeoutMS = 0
+	run := func(ctx context.Context, c *netlist.Circuit) (any, error) {
+		rep := lint.Analyze(c, lint.Options{})
+		return &lintResponse{Circuit: describe(c), Findings: len(rep.Findings), Report: rep}, nil
+	}
+	return opts, timeoutMS, run, nil
+}
+
+// decodeOptions strictly decodes raw options over the defaults already
+// set in dst; unknown fields are rejected so typos fail loudly instead
+// of silently selecting defaults (and splitting the cache).
+func decodeOptions(raw json.RawMessage, dst any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}

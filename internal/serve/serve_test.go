@@ -1,0 +1,458 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends one engine request and returns status, X-Cache header, and
+// body bytes.
+func post(t *testing.T, url, body string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), b
+}
+
+func TestPlanRoundTripAndCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"generate":"c17","options":{"planner":"hybrid"}}`
+
+	st, xc, cold := post(t, ts.URL+"/v1/plan", body)
+	if st != 200 || xc != "miss" {
+		t.Fatalf("cold: status=%d X-Cache=%q body=%s", st, xc, cold)
+	}
+	var resp planResponse
+	if err := json.Unmarshal(cold, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Circuit.Name != "c17" || resp.Planner != "hybrid" {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+
+	st, xc, warm := post(t, ts.URL+"/v1/plan", body)
+	if st != 200 || xc != "hit" {
+		t.Fatalf("warm: status=%d X-Cache=%q", st, xc)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cache hit not byte-identical:\ncold: %s\nwarm: %s", cold, warm)
+	}
+}
+
+// Regression: hybrid and control plans pick points against successively
+// modified circuits, so a point's signal ID can exceed the original gate
+// count (an earlier control point inserted the gate it refers to). Naming
+// the points against the original circuit used to panic on larger DAGs.
+func TestPlanNamesPointsOnModifiedCircuit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, planner := range []string{"hybrid", "control"} {
+		body := fmt.Sprintf(`{"generate":"dag:gates=600,seed=7","options":{"planner":%q}}`, planner)
+		st, _, b := post(t, ts.URL+"/v1/plan", body)
+		if st != 200 {
+			t.Fatalf("planner=%s: status=%d body=%s", planner, st, b)
+		}
+		var resp planResponse
+		if err := json.Unmarshal(b, &resp); err != nil {
+			t.Fatalf("planner=%s: decode: %v", planner, err)
+		}
+		if len(resp.Points) == 0 {
+			t.Fatalf("planner=%s: no points returned", planner)
+		}
+		for _, p := range resp.Points {
+			if p.Signal == "" {
+				t.Fatalf("planner=%s: point with empty signal name: %+v", planner, p)
+			}
+		}
+	}
+}
+
+func TestEquivalentRequestsShareCacheEntry(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	c17, err := cli.Generate("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := canonicalNetlist(c17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mangle formatting: extra blank lines and spaces around commas
+	// survive parsing and must not split the cache.
+	mangled := strings.ReplaceAll(text, ", ", " ,  ")
+	mangled = strings.ReplaceAll(mangled, "\n", "\n\n")
+
+	req1, _ := json.Marshal(map[string]any{"bench": text})
+	req2, _ := json.Marshal(map[string]any{
+		"bench": mangled,
+		// Explicitly spelled defaults must canonicalize to the same key.
+		"options": map[string]any{"planner": "hybrid", "k": 4, "ncp": 3, "nop": 4, "dth": 1.0 / 4096},
+	})
+	st, xc, cold := post(t, ts.URL+"/v1/plan", string(req1))
+	if st != 200 || xc != "miss" {
+		t.Fatalf("cold: status=%d X-Cache=%q", st, xc)
+	}
+	st, xc, warm := post(t, ts.URL+"/v1/plan", string(req2))
+	if st != 200 || xc != "hit" {
+		t.Fatalf("equivalent request missed the cache: status=%d X-Cache=%q", st, xc)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("equivalent requests returned different bytes")
+	}
+	if cs := s.cache.Stats(); cs.Entries != 1 {
+		t.Fatalf("cache entries = %d, want 1", cs.Entries)
+	}
+}
+
+// TestConcurrentIdenticalRequests is acceptance criterion (a): two
+// identical concurrent /v1/plan requests produce byte-identical
+// responses with exactly one engine execution — one miss, one hit.
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+
+	var mu sync.Mutex
+	var executions []string
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	testHookCompute = func(ep string) {
+		mu.Lock()
+		executions = append(executions, ep)
+		mu.Unlock()
+		close(enter)
+		<-release
+	}
+	defer func() { testHookCompute = nil }()
+
+	body := `{"generate":"dag:gates=120,seed=3","options":{"planner":"observe","nop":3}}`
+
+	// Recompute the cache key the server will use, so the test can
+	// observe the waiter attach deterministically.
+	c, err := cli.Generate("dag:gates=120,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := canonicalNetlist(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyOpts, _, _, err := parsePlan(json.RawMessage(`{"planner":"observe","nop":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := cacheKey("/v1/plan", canon, keyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		status int
+		xcache string
+		body   []byte
+	}
+	results := make([]result, 2)
+	var wg sync.WaitGroup
+	launch := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, xc, b := post(t, ts.URL+"/v1/plan", body)
+			results[i] = result{st, xc, b}
+		}()
+	}
+	launch(0)
+	<-enter // leader holds a worker slot, engine about to run
+	launch(1)
+	waitFor(t, func() bool { return s.cache.pendingWaiters(key) == 1 })
+	close(release)
+	wg.Wait()
+
+	if len(executions) != 1 {
+		t.Fatalf("engine executed %d times, want exactly 1", len(executions))
+	}
+	for i, r := range results {
+		if r.status != 200 {
+			t.Fatalf("request %d: status %d body %s", i, r.status, r.body)
+		}
+	}
+	if !bytes.Equal(results[0].body, results[1].body) {
+		t.Fatalf("responses differ:\n%s\n%s", results[0].body, results[1].body)
+	}
+	got := []string{results[0].xcache, results[1].xcache}
+	if !(got[0] == "miss" && got[1] == "hit") && !(got[0] == "hit" && got[1] == "miss") {
+		t.Fatalf("X-Cache = %v, want one miss and one hit", got)
+	}
+	cs := s.cache.Stats()
+	if cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 miss / 1 hit", cs)
+	}
+}
+
+// TestCancellationFreesSaturatedPool is acceptance criterion (b): a
+// request cancelled mid-simulation returns within 500ms of the
+// cancellation, and a request queued behind it on a saturated pool then
+// completes normally with per-fault results identical to an unloaded
+// run.
+func TestCancellationFreesSaturatedPool(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, RequestTimeout: time.Minute})
+
+	started := make(chan struct{}, 2)
+	testHookCompute = func(string) { started <- struct{}{} }
+	defer func() { testHookCompute = nil }()
+
+	// Request A: effectively unbounded simulation on the single worker.
+	longBody := `{"generate":"dag:gates=600,seed=7","options":{"patterns":1073741824,"keep_faults":true,"full_universe":true}}`
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	aDone := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(ctxA, http.MethodPost, ts.URL+"/v1/faultsim", strings.NewReader(longBody))
+		_, err := http.DefaultClient.Do(req)
+		aDone <- err
+	}()
+	<-started // A's engine run began: the pool is saturated
+
+	// Request B queues behind A.
+	shortBody := `{"generate":"c17","options":{"patterns":64}}`
+	type bres struct {
+		status int
+		body   []byte
+	}
+	bDone := make(chan bres, 1)
+	go func() {
+		st, _, b := post(t, ts.URL+"/v1/faultsim", shortBody)
+		bDone <- bres{st, b}
+	}()
+	waitFor(t, func() bool { return s.pool.Stats().Queued >= 1 })
+
+	// Cancel A mid-simulation; its client must observe the abort fast.
+	cancelStart := time.Now()
+	cancelA()
+	err := <-aDone
+	if elapsed := time.Since(cancelStart); elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled request returned after %v, want <500ms", elapsed)
+	}
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request error = %v, want context.Canceled", err)
+	}
+
+	// B now gets the freed worker and must match an unloaded baseline
+	// per-fault (byte-identical response, including first_detect).
+	b := <-bDone
+	if b.status != 200 {
+		t.Fatalf("queued request failed after cancellation: %d %s", b.status, b.body)
+	}
+	testHookCompute = nil
+	_, baselineTS := newTestServer(t, Config{})
+	st, _, want := post(t, baselineTS.URL+"/v1/faultsim", shortBody)
+	if st != 200 {
+		t.Fatalf("baseline failed: %d", st)
+	}
+	if !bytes.Equal(b.body, want) {
+		t.Fatalf("per-fault results changed under cancellation:\ngot:  %s\nwant: %s", b.body, want)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"generate":"dag:gates=600,seed=7","options":{"patterns":1073741824,"keep_faults":true,"timeout_ms":100}}`
+	start := time.Now()
+	st, _, b := post(t, ts.URL+"/v1/faultsim", body)
+	if st != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d body=%s, want 504", st, b)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout enforcement took %v", elapsed)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(b, &e); err != nil || e["error"] == "" {
+		t.Fatalf("expected JSON error body, got %s", b)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, endpoint, body string
+		want                 int
+	}{
+		{"malformed json", "/v1/plan", `{`, 400},
+		{"no circuit", "/v1/plan", `{}`, 400},
+		{"both circuit forms", "/v1/plan", `{"bench":"INPUT(a)\nOUTPUT(a)","generate":"c17"}`, 400},
+		{"bad bench", "/v1/plan", `{"bench":"INPUT(((("}`, 400},
+		{"bad generator", "/v1/plan", `{"generate":"nosuch:x=1"}`, 400},
+		{"unknown planner", "/v1/plan", `{"generate":"c17","options":{"planner":"magic"}}`, 400},
+		{"unknown option", "/v1/plan", `{"generate":"c17","options":{"plannner":"hybrid"}}`, 400},
+		{"negative budget", "/v1/plan", `{"generate":"c17","options":{"planner":"cuts","k":-1}}`, 400},
+		{"zero patterns", "/v1/faultsim", `{"generate":"c17","options":{"patterns":-5}}`, 400},
+		{"bad source", "/v1/faultsim", `{"generate":"c17","options":{"source":"dice"}}`, 400},
+		{"negative backtracks", "/v1/atpg", `{"generate":"c17","options":{"backtrack_limit":-1}}`, 400},
+	}
+	for _, tc := range cases {
+		st, _, b := post(t, ts.URL+tc.endpoint, tc.body)
+		if st != tc.want {
+			t.Errorf("%s: status = %d body=%s, want %d", tc.name, st, b, tc.want)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(b, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: expected JSON error body, got %s", tc.name, b)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Fatalf("Allow = %q, want POST", allow)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBody: 512})
+	big := fmt.Sprintf(`{"bench":%q}`, strings.Repeat("# filler\n", 200))
+	st, _, _ := post(t, ts.URL+"/v1/plan", big)
+	if st != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", st)
+	}
+}
+
+func TestFaultsimAndATPGAndLint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	st, _, b := post(t, ts.URL+"/v1/faultsim", `{"generate":"c17","options":{"patterns":256}}`)
+	if st != 200 {
+		t.Fatalf("faultsim: %d %s", st, b)
+	}
+	var sim simResponse
+	if err := json.Unmarshal(b, &sim); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Detected == 0 || sim.Coverage <= 0 || len(sim.FirstDetect) != sim.Detected {
+		t.Fatalf("implausible sim response: %+v", sim)
+	}
+
+	st, _, b = post(t, ts.URL+"/v1/atpg", `{"generate":"c17"}`)
+	if st != 200 {
+		t.Fatalf("atpg: %d %s", st, b)
+	}
+	var at atpgResponse
+	if err := json.Unmarshal(b, &at); err != nil {
+		t.Fatal(err)
+	}
+	if at.Detected == 0 || len(at.Vectors) == 0 {
+		t.Fatalf("implausible atpg response: %+v", at)
+	}
+	if want := at.Circuit.Inputs; len(at.Vectors[0]) != want {
+		t.Fatalf("vector width = %d, want %d inputs", len(at.Vectors[0]), want)
+	}
+
+	st, _, b = post(t, ts.URL+"/v1/lint", `{"generate":"c17"}`)
+	if st != 200 {
+		t.Fatalf("lint: %d %s", st, b)
+	}
+	var lr lintResponse
+	if err := json.Unmarshal(b, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Circuit.Name != "c17" {
+		t.Fatalf("lint response: %+v", lr)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(b), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, b)
+	}
+
+	// Generate one engine request so stats have content.
+	if st, _, _ := post(t, ts.URL+"/v1/plan", `{"generate":"c17"}`); st != 200 {
+		t.Fatal("plan request failed")
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats Stats
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatalf("stats decode: %v\n%s", err, b)
+	}
+	ep, ok := stats.Endpoints["/v1/plan"]
+	if !ok || ep.Requests != 1 || ep.ByStatus["2xx"] != 1 {
+		t.Fatalf("plan endpoint stats = %+v", ep)
+	}
+	total := int64(0)
+	for _, v := range ep.LatencyMS {
+		total += v
+	}
+	if total != 1 {
+		t.Fatalf("latency histogram total = %d, want 1: %+v", total, ep.LatencyMS)
+	}
+	if stats.Pool.Workers != 3 {
+		t.Fatalf("pool workers = %d, want 3", stats.Pool.Workers)
+	}
+	if stats.Cache.Misses != 1 {
+		t.Fatalf("cache stats = %+v", stats.Cache)
+	}
+}
+
+// TestDeterministicAcrossServers guards the canonical-response
+// property the cache depends on: a fresh server must produce the same
+// bytes for the same request.
+func TestDeterministicAcrossServers(t *testing.T) {
+	body := `{"generate":"rpr:seed=5,cones=2,width=8,glue=30","options":{"planner":"hybrid","nop":2,"ncp":2}}`
+	var prev []byte
+	for i := 0; i < 2; i++ {
+		_, ts := newTestServer(t, Config{})
+		st, _, b := post(t, ts.URL+"/v1/plan", body)
+		if st != 200 {
+			t.Fatalf("server %d: status %d %s", i, st, b)
+		}
+		if prev != nil && !bytes.Equal(prev, b) {
+			t.Fatalf("responses differ across servers:\n%s\n%s", prev, b)
+		}
+		prev = b
+	}
+}

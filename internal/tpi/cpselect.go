@@ -1,6 +1,7 @@
 package tpi
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -46,6 +47,11 @@ type CPOptions struct {
 // points interact through shared fanout cones), so this is a heuristic by
 // design; the 1987 DP applies to the problems in cutdp.go and opdp.go.
 func PlanControlPointsGreedy(c *netlist.Circuit, faults []fault.Fault, k int, dth float64, opts CPOptions) (*CPPlan, error) {
+	return planControlPointsGreedy(context.Background(), c, faults, k, dth, opts)
+}
+
+func planControlPointsGreedy(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, k int, dth float64, opts CPOptions) (*CPPlan, error) {
+	done := ctx.Done()
 	if k < 0 {
 		return nil, ErrBudgetNegative
 	}
@@ -67,6 +73,7 @@ func PlanControlPointsGreedy(c *netlist.Circuit, faults []fault.Fault, k int, dt
 		var bestCircuit *netlist.Circuit
 		var bestCOP *testability.COP
 		for _, s := range candidates {
+			pollDone(ctx, done)
 			for _, kind := range []netlist.TestPointKind{netlist.Control0, netlist.Control1} {
 				mod, err := cur.InsertTestPoints([]netlist.TestPoint{{Signal: s, Kind: kind}})
 				if err != nil {

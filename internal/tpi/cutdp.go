@@ -19,6 +19,7 @@
 package tpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -76,6 +77,10 @@ func PlanCutsDP(c *netlist.Circuit, k int) (*CutPlan, error) {
 // exceed the budget. The DP's cut dimension simply carries cost instead
 // of count, so optimality is preserved. Costs must be positive.
 func PlanCutsDPWithCost(c *netlist.Circuit, budget int, cost CostFunc) (*CutPlan, error) {
+	return planCutsDPWithCost(context.Background(), c, budget, cost)
+}
+
+func planCutsDPWithCost(ctx context.Context, c *netlist.Circuit, budget int, cost CostFunc) (*CutPlan, error) {
 	k := budget
 	if k < 0 {
 		return nil, ErrBudgetNegative
@@ -99,7 +104,7 @@ func PlanCutsDPWithCost(c *netlist.Circuit, budget int, cost CostFunc) (*CutPlan
 	bestT := hi
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		dp := newCutDP(c, mid, cost)
+		dp := newCutDP(ctx, c, mid, cost)
 		cuts, ok := dp.solve(k)
 		plan.StatesVisited += dp.states
 		if ok {
@@ -146,6 +151,8 @@ type cutDP struct {
 	T      int
 	cost   CostFunc
 	states int64
+	ctx    context.Context
+	done   <-chan struct{}
 	// final[n] is the Pareto state set of node n (open segment rooted at
 	// n); chains[n] stores all partial states created while merging n's
 	// children, referenced by prev indices.
@@ -153,11 +160,13 @@ type cutDP struct {
 	chains [][]cutState
 }
 
-func newCutDP(c *netlist.Circuit, T int, cost CostFunc) *cutDP {
+func newCutDP(ctx context.Context, c *netlist.Circuit, T int, cost CostFunc) *cutDP {
 	return &cutDP{
 		c:      c,
 		T:      T,
 		cost:   cost,
+		ctx:    ctx,
+		done:   ctx.Done(),
 		final:  make([][]cutState, c.NumGates()),
 		chains: make([][]cutState, c.NumGates()),
 	}
@@ -201,6 +210,7 @@ func (dp *cutDP) solve(k int) (cuts []int, ok bool) {
 
 // computeNode fills final[id] from the children's state sets.
 func (dp *cutDP) computeNode(id int) {
+	pollDone(dp.ctx, dp.done)
 	c := dp.c
 	g := c.Gate(id)
 	if g.Type == netlist.Input {

@@ -1,6 +1,7 @@
 package tpi
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -196,6 +197,8 @@ type regionDP struct {
 	dth    float64
 	memo   map[[2]int][]int
 	states int64
+	ctx    context.Context
+	done   <-chan struct{}
 }
 
 // run returns best[k] = max faults covered in the region using exactly at
@@ -221,6 +224,7 @@ func (r *regionDP) dp(n, anc int) []int {
 	if v, ok := r.memo[key]; ok {
 		return v
 	}
+	pollDone(r.ctx, r.done)
 	children := r.m.regionChildren[n]
 	// Option A: no OP at n — faults here see the inherited observer.
 	hereA := r.m.coveredAt(n, r.phiFor(n, anc), r.dth)
@@ -343,6 +347,10 @@ func (r *regionDP) splitKnapsack(children []int, anc, k int, out *[]int) {
 // allocation of the budget across regions; on fully fanout-free circuits
 // this is the globally optimal placement under the COP model.
 func PlanObservationPointsDP(c *netlist.Circuit, faults []fault.Fault, k int, dth float64, opts OPOptions) (*OPPlan, error) {
+	return planObservationPointsDP(context.Background(), c, faults, k, dth, opts)
+}
+
+func planObservationPointsDP(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, k int, dth float64, opts OPOptions) (*OPPlan, error) {
 	if k < 0 {
 		return nil, ErrBudgetNegative
 	}
@@ -372,7 +380,7 @@ func PlanObservationPointsDP(c *netlist.Circuit, faults []fault.Fault, k int, dt
 	dps := make([]*regionDP, len(stems))
 	tables := make([][]int, len(stems))
 	for i, s := range stems {
-		r := &regionDP{m: m, stem: s, kMax: k, dth: dth, memo: make(map[[2]int][]int)}
+		r := &regionDP{m: m, stem: s, kMax: k, dth: dth, memo: make(map[[2]int][]int), ctx: ctx, done: ctx.Done()}
 		tables[i] = r.run()
 		dps[i] = r
 		plan.StatesVisited += r.states

@@ -1,6 +1,8 @@
 package tpi
 
 import (
+	"context"
+
 	"repro/internal/fault"
 	"repro/internal/netlist"
 )
@@ -50,8 +52,12 @@ func (h *HybridPlan) AllPoints() int {
 // given fault list. The returned plan carries the final modified
 // circuit ready for fault simulation.
 func PlanHybrid(c *netlist.Circuit, faults []fault.Fault, nCP, nOP int, dth float64, cpOpts CPOptions, opOpts OPOptions) (*HybridPlan, error) {
+	return planHybrid(context.Background(), c, faults, nCP, nOP, dth, cpOpts, opOpts)
+}
+
+func planHybrid(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, nCP, nOP int, dth float64, cpOpts CPOptions, opOpts OPOptions) (*HybridPlan, error) {
 	faults, pruned := PruneFaults(c, faults)
-	cp, err := PlanControlPointsGreedy(c, faults, nCP, dth, cpOpts)
+	cp, err := planControlPointsGreedy(ctx, c, faults, nCP, dth, cpOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +65,7 @@ func PlanHybrid(c *netlist.Circuit, faults []fault.Fault, nCP, nOP int, dth floa
 	if err != nil {
 		return nil, err
 	}
-	op, err := PlanObservationPointsDP(mid, faults, nOP, dth, opOpts)
+	op, err := planObservationPointsDP(ctx, mid, faults, nOP, dth, opOpts)
 	if err != nil {
 		return nil, err
 	}

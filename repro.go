@@ -26,6 +26,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/atpg"
@@ -243,6 +244,13 @@ func Simulate(c *Circuit, faults []Fault, src PatternSource, opts SimOptions) (*
 	return fsim.Run(c, faults, src, opts)
 }
 
+// SimulateContext is Simulate with cancellation: the run stops at the
+// next 64-pattern block boundary once ctx is done, returning the partial
+// result over completed blocks alongside ctx.Err().
+func SimulateContext(ctx context.Context, c *Circuit, faults []Fault, src PatternSource, opts SimOptions) (*SimResult, error) {
+	return fsim.RunContext(ctx, c, faults, src, opts)
+}
+
 // SimulateDefault runs the collapsed universe for 32768 LFSR-style
 // patterns with fault dropping.
 func SimulateDefault(c *Circuit, src PatternSource) (*SimResult, error) {
@@ -344,6 +352,14 @@ func PlanTestPoints(c *Circuit, faults []Fault, nCP, nOP int, dth float64) (*Hyb
 	return tpi.PlanHybrid(c, faults, nCP, nOP, dth, tpi.CPOptions{}, tpi.OPOptions{})
 }
 
+// PlanTestPointsContext is PlanTestPoints with cancellation: both the
+// greedy control point stage and the observation point DP poll ctx and
+// abandon planning promptly once it is done (no partial plan is
+// returned).
+func PlanTestPointsContext(ctx context.Context, c *Circuit, faults []Fault, nCP, nOP int, dth float64) (*HybridPlan, error) {
+	return tpi.PlanHybridContext(ctx, c, faults, nCP, nOP, dth, tpi.CPOptions{}, tpi.OPOptions{})
+}
+
 // ATPGOptions configures the PODEM test generator.
 type ATPGOptions = atpg.Options
 
@@ -362,6 +378,13 @@ func GenerateTest(c *Circuit, f Fault, opts ATPGOptions) (*ATPGResult, error) {
 // list.
 func GenerateTests(c *Circuit, faults []Fault, opts ATPGOptions) (*TestSet, error) {
 	return atpg.GenerateTests(c, faults, opts)
+}
+
+// GenerateTestsContext is GenerateTests with cancellation: the PODEM
+// backtrack loop polls ctx, and on cancellation the partial test set
+// over faults processed so far is returned alongside ctx.Err().
+func GenerateTestsContext(ctx context.Context, c *Circuit, faults []Fault, opts ATPGOptions) (*TestSet, error) {
+	return atpg.GenerateTestsContext(ctx, c, faults, opts)
 }
 
 // CompactTests statically compacts a test set (reverse-order pruning)
