@@ -90,7 +90,9 @@ func run(ctx context.Context, benchPath, genSpec string, patterns int, seed uint
 			return err
 		}
 		vecs, err := pattern.ParseVectorText(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}

@@ -62,10 +62,12 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lint:", err)
-		os.Exit(2)
+		// Every run error here is a usage-or-input failure (bad flags,
+		// unreadable netlist), which the shared contract maps to 2.
+		os.Exit(cli.ExitCode(cli.Usage(err)))
 	}
 	if failed {
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 }
 

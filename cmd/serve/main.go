@@ -17,6 +17,10 @@
 // byte-identically without re-running the engines. On SIGINT/SIGTERM
 // the listener closes, in-flight requests drain, and the process exits
 // zero.
+//
+// Exit codes follow the internal/cli contract: 0 after a clean drain,
+// 1 on runtime failure (listener error, failed shutdown), 2 on bad
+// flags or configuration.
 package main
 
 import (
@@ -31,30 +35,65 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/serve"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "max concurrent engine executions (0 = GOMAXPROCS)")
-	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes")
-	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
-	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes")
-	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.workers, "workers", 0, "max concurrent engine executions (0 = GOMAXPROCS)")
+	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 64<<20, "result cache budget in bytes")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline")
+	flag.Int64Var(&cfg.maxBody, "max-body", 8<<20, "max request body bytes")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cacheBytes, *requestTimeout, *maxBody, *drainTimeout); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
-func run(addr string, workers int, cacheBytes int64, requestTimeout time.Duration, maxBody int64, drainTimeout time.Duration) error {
+// config gathers one invocation's settings.
+type config struct {
+	addr           string
+	workers        int
+	cacheBytes     int64
+	requestTimeout time.Duration
+	maxBody        int64
+	drainTimeout   time.Duration
+}
+
+// validate rejects configurations the server cannot run with; the
+// returned errors carry the usage exit code (2) through cli.ExitCode.
+func (c config) validate() error {
+	switch {
+	case c.addr == "":
+		return cli.Usage(errors.New("-addr must not be empty"))
+	case c.workers < 0:
+		return cli.Usage(fmt.Errorf("-workers must be >= 0 (got %d)", c.workers))
+	case c.cacheBytes < 0:
+		return cli.Usage(fmt.Errorf("-cache-bytes must be >= 0 (got %d)", c.cacheBytes))
+	case c.requestTimeout <= 0:
+		return cli.Usage(fmt.Errorf("-request-timeout must be positive (got %v)", c.requestTimeout))
+	case c.maxBody <= 0:
+		return cli.Usage(fmt.Errorf("-max-body must be positive (got %v)", c.maxBody))
+	case c.drainTimeout <= 0:
+		return cli.Usage(fmt.Errorf("-drain-timeout must be positive (got %v)", c.drainTimeout))
+	}
+	return nil
+}
+
+func run(cfg config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
 	s := serve.New(serve.Config{
-		Workers:        workers,
-		CacheBytes:     cacheBytes,
-		RequestTimeout: requestTimeout,
-		MaxBody:        maxBody,
+		Workers:        cfg.workers,
+		CacheBytes:     cfg.cacheBytes,
+		RequestTimeout: cfg.requestTimeout,
+		MaxBody:        cfg.maxBody,
 	})
 	s.PublishExpvar()
 
@@ -62,14 +101,14 @@ func run(addr string, workers int, cacheBytes int64, requestTimeout time.Duratio
 	mux.Handle("/", s.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 
-	srv := &http.Server{Addr: addr, Handler: mux}
+	srv := &http.Server{Addr: cfg.addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", addr)
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", cfg.addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -81,7 +120,7 @@ func run(addr string, workers int, cacheBytes int64, requestTimeout time.Duratio
 
 	// Drain: stop accepting connections, let in-flight requests finish.
 	fmt.Fprintln(os.Stderr, "serve: shutting down, draining in-flight requests")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

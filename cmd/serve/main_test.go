@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+)
+
+// goodConfig returns a config that passes validation.
+func goodConfig() config {
+	return config{
+		addr:           ":0",
+		workers:        0,
+		cacheBytes:     1 << 20,
+		requestTimeout: time.Second,
+		maxBody:        1 << 20,
+		drainTimeout:   time.Second,
+	}
+}
+
+// TestValidateRejectsBadConfig pins the usage contract: every invalid
+// flag combination maps to exit code 2 through cli.ExitCode, and the
+// message names the offending flag.
+func TestValidateRejectsBadConfig(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*config)
+		flag   string
+	}{
+		{"empty addr", func(c *config) { c.addr = "" }, "-addr"},
+		{"negative workers", func(c *config) { c.workers = -1 }, "-workers"},
+		{"negative cache", func(c *config) { c.cacheBytes = -1 }, "-cache-bytes"},
+		{"zero request timeout", func(c *config) { c.requestTimeout = 0 }, "-request-timeout"},
+		{"zero max body", func(c *config) { c.maxBody = 0 }, "-max-body"},
+		{"negative drain", func(c *config) { c.drainTimeout = -time.Second }, "-drain-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := goodConfig()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if err == nil {
+				t.Fatal("validate accepted an invalid config")
+			}
+			if code := cli.ExitCode(err); code != cli.ExitUsage {
+				t.Errorf("exit code = %d, want %d", code, cli.ExitUsage)
+			}
+			if !strings.Contains(err.Error(), tc.flag) {
+				t.Errorf("error %q does not name %s", err, tc.flag)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := goodConfig().validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+// TestRunListenFailure exercises the runtime-failure path: a listen
+// error is a runtime fault (exit 1), not a usage error.
+func TestRunListenFailure(t *testing.T) {
+	cfg := goodConfig()
+	cfg.addr = "256.256.256.256:99999" // unresolvable
+	err := run(cfg)
+	if err == nil {
+		t.Fatal("run succeeded on an unresolvable address")
+	}
+	if code := cli.ExitCode(err); code != cli.ExitFailure {
+		t.Errorf("exit code = %d, want %d", code, cli.ExitFailure)
+	}
+}
+
+// TestRunRejectsBeforeListening asserts validation happens before any
+// socket is opened, so a bad config never binds a port.
+func TestRunRejectsBeforeListening(t *testing.T) {
+	cfg := goodConfig()
+	cfg.maxBody = -1
+	err := run(cfg)
+	if code := cli.ExitCode(err); code != cli.ExitUsage {
+		t.Errorf("exit code = %d, want %d (err %v)", code, cli.ExitUsage, err)
+	}
+}

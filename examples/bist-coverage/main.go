@@ -24,7 +24,10 @@ func main() {
 	faults := repro.Faults(c)
 	fmt.Printf("collapsed faults: %d\n\n", len(faults))
 
-	orig := curve(c, faults)
+	orig, err := curve(c, faults)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Plan the test points: the threshold 4/patterns asks that every
 	// targeted fault have a decent chance of several detections within
@@ -35,7 +38,10 @@ func main() {
 	}
 	fmt.Printf("plan: %d control points, %d observation points\n\n",
 		len(plan.Control.Points), len(plan.Observe.Points))
-	mod := curve(plan.Modified, faults)
+	mod, err := curve(plan.Modified, faults)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%10s  %12s  %12s\n", "patterns", "original", "with TPs")
 	for i := range orig {
@@ -65,15 +71,15 @@ func main() {
 }
 
 // curve returns 16 coverage samples along the BIST session.
-func curve(c *repro.Circuit, faults []repro.Fault) []float64 {
+func curve(c *repro.Circuit, faults []repro.Fault) ([]float64, error) {
 	res, err := repro.Simulate(c, faults, repro.NewLFSR(0xbadc0de),
 		repro.SimOptions{MaxPatterns: patterns, DropFaults: true})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	var out []float64
 	for _, p := range res.Curve(patterns / 16) {
 		out = append(out, p.Coverage)
 	}
-	return out
+	return out, nil
 }

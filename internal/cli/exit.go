@@ -19,10 +19,35 @@ const (
 	// ExitWriteFailure means the computation succeeded but a requested
 	// output file could not be written (*WriteError).
 	ExitWriteFailure = 2
+	// ExitUsage means the command could not start: bad flags, bad
+	// configuration, or input that could not be consumed (*UsageError).
+	// It shares the numeric value 2 with ExitWriteFailure deliberately:
+	// both denote environment failures rather than engine failures, and
+	// the stderr message carries the distinction. flag.ExitOnError uses
+	// the same value for unparsable flags.
+	ExitUsage = 2
 	// ExitDeadline means a -timeout expired before the run finished;
 	// any results already printed are partial.
 	ExitDeadline = 3
 )
+
+// UsageError marks a bad-usage or bad-configuration failure detected
+// before any engine work starts. Commands map it to ExitUsage.
+type UsageError struct {
+	Err error
+}
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usage wraps err as a *UsageError so ExitCode maps it to ExitUsage;
+// nil stays nil.
+func Usage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &UsageError{Err: err}
+}
 
 // WriteError marks a failure to create, write, or close a requested
 // output file. Commands map it to ExitWriteFailure.
@@ -63,6 +88,10 @@ func ExitCode(err error) int {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return ExitDeadline
 	default:
+		var ue *UsageError
+		if errors.As(err, &ue) {
+			return ExitUsage
+		}
 		var we *WriteError
 		if errors.As(err, &we) {
 			return ExitWriteFailure

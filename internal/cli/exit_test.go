@@ -21,11 +21,30 @@ func TestExitCode(t *testing.T) {
 		{context.DeadlineExceeded, ExitDeadline},
 		{context.Canceled, ExitDeadline},
 		{fmt.Errorf("sim: %w", context.DeadlineExceeded), ExitDeadline},
+		{Usage(errors.New("bad flag")), ExitUsage},
+		{fmt.Errorf("start: %w", Usage(errors.New("bad flag"))), ExitUsage},
+		// A usage error wrapping a deadline keeps the deadline code:
+		// timeouts stay distinguishable no matter how they travel.
+		{Usage(context.DeadlineExceeded), ExitDeadline},
 	}
 	for _, tc := range cases {
 		if got := ExitCode(tc.err); got != tc.want {
 			t.Errorf("ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
 		}
+	}
+}
+
+func TestUsageWrapper(t *testing.T) {
+	if Usage(nil) != nil {
+		t.Error("Usage(nil) must stay nil")
+	}
+	base := errors.New("no such generator")
+	err := Usage(base)
+	if !errors.Is(err, base) {
+		t.Error("Usage must wrap transparently")
+	}
+	if err.Error() != base.Error() {
+		t.Errorf("Usage message = %q, want %q", err.Error(), base.Error())
 	}
 }
 

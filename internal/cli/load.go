@@ -18,10 +18,15 @@ import (
 // LoadCircuit resolves exactly one of benchPath / genSpec into a circuit.
 // Netlist files ending in .v/.sv are read as structural Verilog,
 // everything else as .bench.
+//
+// Errors split along the exit-code contract: flag misuse (both or
+// neither source given, an unparsable -gen spec) comes back as a
+// *UsageError so ExitCode maps it to 2, while an unreadable or
+// unparsable input file is an ordinary failure (exit 1).
 func LoadCircuit(benchPath, genSpec string) (*netlist.Circuit, error) {
 	switch {
 	case benchPath != "" && genSpec != "":
-		return nil, fmt.Errorf("cli: -bench and -gen are mutually exclusive")
+		return nil, Usage(fmt.Errorf("cli: -bench and -gen are mutually exclusive"))
 	case benchPath != "":
 		f, err := os.Open(benchPath)
 		if err != nil {
@@ -36,7 +41,7 @@ func LoadCircuit(benchPath, genSpec string) (*netlist.Circuit, error) {
 	case genSpec != "":
 		return Generate(genSpec)
 	}
-	return nil, fmt.Errorf("cli: provide -bench <file> or -gen <spec>")
+	return nil, Usage(fmt.Errorf("cli: provide -bench <file> or -gen <spec>"))
 }
 
 // Generate builds a circuit from a generator specification of the form
@@ -59,10 +64,11 @@ func LoadCircuit(benchPath, genSpec string) (*netlist.Circuit, error) {
 //	alu:width=8                         2-bit-opcode ALU slice
 func Generate(spec string) (c *netlist.Circuit, err error) {
 	// The generators panic on out-of-range parameters (they are library
-	// preconditions); surface those as errors at the CLI boundary.
+	// preconditions); surface those as usage errors at the CLI boundary —
+	// the offending value came straight from the user's -gen flag.
 	defer func() {
 		if r := recover(); r != nil {
-			c, err = nil, fmt.Errorf("cli: %v", r)
+			c, err = nil, Usage(fmt.Errorf("cli: %v", r))
 		}
 	}()
 	kind := spec
@@ -76,11 +82,11 @@ func Generate(spec string) (c *netlist.Circuit, err error) {
 			}
 			parts := strings.SplitN(kv, "=", 2)
 			if len(parts) != 2 {
-				return nil, fmt.Errorf("cli: malformed generator argument %q", kv)
+				return nil, Usage(fmt.Errorf("cli: malformed generator argument %q", kv))
 			}
 			v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
 			if err != nil {
-				return nil, fmt.Errorf("cli: argument %q: %v", kv, err)
+				return nil, Usage(fmt.Errorf("cli: argument %q: %w", kv, err))
 			}
 			args[strings.TrimSpace(parts[0])] = v
 		}
@@ -121,5 +127,5 @@ func Generate(spec string) (c *netlist.Circuit, err error) {
 	case "alu":
 		return gen.ALUSlice(get("width", 8)), nil
 	}
-	return nil, fmt.Errorf("cli: unknown generator kind %q", kind)
+	return nil, Usage(fmt.Errorf("cli: unknown generator kind %q", kind))
 }

@@ -195,3 +195,44 @@ func TestFaultStringAndName(t *testing.T) {
 		t.Error("branch fault claims to be stem")
 	}
 }
+
+// TestCollapseDeterministic pins the ordering contract on the two
+// map-fed collapse paths: both accumulate into maps and must sort
+// before returning, so repeated runs over the same circuit agree
+// element-for-element. The serve layer caches responses by content
+// hash, so any order wobble here would show up as spurious cache
+// misses and byte-diverging replies.
+func TestCollapseDeterministic(t *testing.T) {
+	for _, c := range []*netlist.Circuit{
+		gen.C17(),
+		gen.RandomDAG(7, 12, 120, gen.DAGOptions{}),
+		gen.RPResistant(3, 3, 10, 40),
+	} {
+		u := Universe(c)
+		first := Collapse(c, u)
+		for run := 0; run < 5; run++ {
+			again := Collapse(c, u)
+			if len(again) != len(first) {
+				t.Fatalf("%s: collapsed size changed between runs: %d vs %d", c.Name(), len(again), len(first))
+			}
+			for i := range first {
+				if again[i] != first[i] {
+					t.Fatalf("%s: element %d differs between runs: %v vs %v", c.Name(), i, again[i], first[i])
+				}
+			}
+		}
+
+		classes := EquivalenceClasses(c, u)
+		for run := 0; run < 5; run++ {
+			again := EquivalenceClasses(c, u)
+			if len(again) != len(classes) {
+				t.Fatalf("%s: class count changed between runs", c.Name())
+			}
+			for i := range classes {
+				if len(again[i]) != len(classes[i]) || again[i][0] != classes[i][0] {
+					t.Fatalf("%s: class %d differs between runs", c.Name(), i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerG001 flags map iterations whose order leaks into
+// order-sensitive sinks. The serve cache replays responses
+// byte-identically, so any Go map iteration that feeds bytes into an
+// output stream — or fills a slice that is later emitted unsorted — is
+// a latent cache-poisoning bug: two runs of the same engine on the same
+// input produce different bytes.
+//
+// Three sink classes are detected inside a `for ... range m` body (m a
+// map, with at least one non-blank loop variable):
+//
+//   - direct writes: fmt.Fprint*/Print* or a Write*/Encode method call
+//     whose arguments depend on the iteration
+//   - string accumulation: `s += ...` on a string declared outside the
+//     loop
+//   - slice collection: `s = append(s, ...)` into a slice declared
+//     outside the loop, with no later sorting call over it in the same
+//     function (sort.*, slices.*, or a local helper named *sort*)
+//
+// The collect-then-sort idiom is therefore recognized and stays clean.
+func analyzerG001() *Analyzer {
+	return &Analyzer{
+		ID:   RuleNondetIteration,
+		Name: "nondeterministic-iteration",
+		Doc:  "map iteration order leaking into output or an unsorted collection",
+		Run:  runG001,
+	}
+}
+
+func runG001(p *Pass) []Finding {
+	var out []Finding
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, fd := range funcDecls(file) {
+			if fd.Body == nil {
+				continue
+			}
+			body := fd.Body
+			ast.Inspect(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				out = append(out, checkMapRange(p, body, rs)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkMapRange inspects one map-range statement for order-sensitive
+// sinks. funcBody is the enclosing function body, searched for
+// post-loop sort calls that launder collected slices.
+func checkMapRange(p *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) []Finding {
+	info := p.Pkg.Info
+
+	// Iteration-dependent objects: the non-blank loop variables plus
+	// everything declared inside the loop body. A sink that never reads
+	// one of these produces identical bytes every iteration and cannot
+	// leak order.
+	iterObjs := make(map[types.Object]bool)
+	addVar := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				iterObjs[obj] = true
+			}
+			if obj := info.Uses[id]; obj != nil {
+				iterObjs[obj] = true
+			}
+		}
+	}
+	if rs.Key != nil {
+		addVar(rs.Key)
+	}
+	if rs.Value != nil {
+		addVar(rs.Value)
+	}
+	if len(iterObjs) == 0 {
+		// `for range m` runs indistinguishable iterations.
+		return nil
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				iterObjs[obj] = true
+			}
+		}
+		return true
+	})
+	depends := func(n ast.Node) bool { return refersToObject(info, n, iterObjs) }
+
+	mapName := types.ExprString(rs.X)
+	var out []Finding
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isOutputCall(info, n) && depends(n) {
+				out = append(out, p.finding(RuleNondetIteration, Error, n.Pos(),
+					fmt.Sprintf("output written inside iteration over map %s: iteration order is nondeterministic", mapName),
+					"collect the entries, sort them, then emit"))
+			}
+		case *ast.AssignStmt:
+			out = append(out, checkMapRangeAssign(p, funcBody, rs, n, mapName, depends)...)
+		}
+		return true
+	})
+	return out
+}
+
+// checkMapRangeAssign handles the accumulation sinks: string
+// concatenation and slice collection.
+func checkMapRangeAssign(p *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, as *ast.AssignStmt, mapName string, depends func(ast.Node) bool) []Finding {
+	info := p.Pkg.Info
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	target := as.Lhs[0]
+	if declaredWithin(info, target, rs) {
+		return nil // loop-local accumulator; dies with the iteration
+	}
+
+	// s += <iteration-dependent string>: order-sensitive and not
+	// fixable by a later sort.
+	if as.Tok == token.ADD_ASSIGN {
+		t := info.TypeOf(target)
+		if t != nil && isStringType(t) && depends(as.Rhs[0]) {
+			return []Finding{p.finding(RuleNondetIteration, Error, as.Pos(),
+				fmt.Sprintf("string built in iteration order over map %s", mapName),
+				"collect the parts, sort them, then join")}
+		}
+		return nil
+	}
+
+	// s = append(s, ...): collection; clean only if a later sort over s
+	// in the same function fixes the order.
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || info.Uses[id] != nil && info.Uses[id].Pkg() != nil {
+		return nil
+	}
+	if !depends(call) {
+		return nil
+	}
+	targetStr := types.ExprString(target)
+	if sortedAfter(info, funcBody, rs.End(), targetStr) {
+		return nil
+	}
+	return []Finding{p.finding(RuleNondetIteration, Error, as.Pos(),
+		fmt.Sprintf("%s collected in iteration order over map %s and never sorted afterwards", targetStr, mapName),
+		"sort "+targetStr+" with sort.* or slices.Sort* after the loop")}
+}
+
+// declaredWithin reports whether expr is an identifier whose object is
+// declared inside the range statement.
+func declaredWithin(info *types.Info, expr ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+}
+
+// sortedAfter reports whether a sorting call lexically after pos,
+// anywhere in the function body, mentions the target expression. A
+// sorting call is anything from the sort or slices packages, or a
+// helper whose name contains "sort" (the sortFaults/sortFindings
+// idiom this repo uses for multi-key orders).
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if !isSortingCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortingCall matches sort.*/slices.* calls and local sort helpers.
+func isSortingCall(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, _ := pkgQualified(info, call.Fun); pkg == "sort" || pkg == "slices" {
+		return true
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	return strings.Contains(strings.ToLower(name), "sort")
+}
+
+// isOutputCall reports whether the call streams bytes to an
+// order-sensitive destination: the fmt print family (excluding the pure
+// Sprint* and Errorf forms) or a Write*/Encode method.
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, name := pkgQualified(info, call.Fun); pkg == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if _, isMethod := info.Selections[sel]; !isMethod {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return true
+	}
+	return false
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,140 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// cliPkgPath is the package that owns the exit-code contract.
+const cliPkgPath = "repro/internal/cli"
+
+// analyzerG002 enforces the process-exit contract: only func main of a
+// main package may terminate the process, and every nonzero exit code
+// must come from the internal/cli contract (the ExitCode mapper or an
+// Exit* constant), so that 0/1/2/3 keep one meaning across every tool.
+//
+// Flagged:
+//
+//   - os.Exit or log.Fatal*/log.Panic* anywhere outside func main of a
+//     main package (libraries must return errors)
+//   - os.Exit in func main whose argument is not the literal 0, a
+//     cli.Exit* constant, a cli.ExitCode(...) call, or a local variable
+//     assigned from one of those
+func analyzerG002() *Analyzer {
+	return &Analyzer{
+		ID:   RuleExitContract,
+		Name: "exit-contract",
+		Doc:  "process exits outside func main or bypassing internal/cli.ExitCode",
+		Run:  runG002,
+	}
+}
+
+func runG002(p *Pass) []Finding {
+	var out []Finding
+	info := p.Pkg.Info
+	isMainPkg := p.Pkg.Types.Name() == "main"
+	for _, file := range p.Pkg.Files {
+		for _, fd := range funcDecls(file) {
+			if fd.Body == nil {
+				continue
+			}
+			inMain := isMainPkg && fd.Recv == nil && fd.Name.Name == "main"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, name := pkgQualified(info, call.Fun)
+				switch {
+				case pkg == "os" && name == "Exit":
+					if !inMain {
+						out = append(out, p.finding(RuleExitContract, Error, call.Pos(),
+							"os.Exit outside func main of a main package",
+							"return an error and let main map it through internal/cli.ExitCode"))
+						return true
+					}
+					if len(call.Args) == 1 && !isContractExitCode(p, fd, call.Args[0]) {
+						out = append(out, p.finding(RuleExitContract, Error, call.Pos(),
+							fmt.Sprintf("exit code %s bypasses the internal/cli exit-code contract", exprText(call.Args[0])),
+							"pass 0, a cli.Exit* constant, or cli.ExitCode(err)"))
+					}
+				case pkg == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+					name == "Panic" || name == "Panicf" || name == "Panicln"):
+					if !inMain {
+						out = append(out, p.finding(RuleExitContract, Error, call.Pos(),
+							"log."+name+" outside func main of a main package",
+							"return an error and let main decide how to exit"))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isContractExitCode reports whether the os.Exit argument conforms to
+// the contract: literal 0, a constant or ExitCode call from
+// internal/cli, or a local variable assigned from one of those inside
+// the same function.
+func isContractExitCode(p *Pass, fd *ast.FuncDecl, arg ast.Expr) bool {
+	info := p.Pkg.Info
+	if isConstInt(info, arg, 0) {
+		return true
+	}
+	if isCLIExitExpr(p, arg) {
+		return true
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	// Accept a local whose every assignment in this function draws from
+	// the contract.
+	assigned, conforms := false, true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			lobj := info.Defs[lid]
+			if lobj == nil {
+				lobj = info.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			assigned = true
+			if !isCLIExitExpr(p, as.Rhs[i]) {
+				conforms = false
+			}
+		}
+		return true
+	})
+	return assigned && conforms
+}
+
+// isCLIExitExpr reports whether expr is a cli.Exit* selector or a
+// cli.ExitCode(...) call.
+func isCLIExitExpr(p *Pass, expr ast.Expr) bool {
+	info := p.Pkg.Info
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		pkg, name := pkgQualified(info, e)
+		return pkg == cliPkgPath && strings.HasPrefix(name, "Exit")
+	case *ast.CallExpr:
+		pkg, name := pkgQualified(info, e.Fun)
+		return pkg == cliPkgPath && name == "ExitCode"
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// analyzerG004 keeps the deterministic engine packages pure. Engine
+// results are cached content-addressed and replayed byte-identically by
+// internal/serve, and the experiment tables are regenerated and diffed;
+// a wall-clock read, a draw from the global math/rand source, or an
+// environment read inside an engine makes the same input produce
+// different output — silently poisoning both.
+//
+// The impure symbols: time.Now/Since/Until, every package-level
+// math/rand function except the explicit-source constructors
+// (New/NewSource), and os.Getenv/LookupEnv/Environ. Vetted exceptions
+// live in the impureAllowlist table in allowlist.go — a reviewable
+// table, not scattered suppression comments.
+func analyzerG004() *Analyzer {
+	return &Analyzer{
+		ID:   RuleImpureEngine,
+		Name: "impure-engine",
+		Doc:  "wall-clock, global RNG, or environment reads inside deterministic engine packages",
+		Run:  runG004,
+	}
+}
+
+func runG004(p *Pass) []Finding {
+	if !isDeterministicPackage(p.Pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := pkgQualified(info, call.Fun)
+			symbol, reason := impureSymbol(pkg, name)
+			if symbol == "" {
+				return true
+			}
+			if allowedImpurity(p.Pkg.Path, symbol) {
+				return true
+			}
+			out = append(out, p.finding(RuleImpureEngine, Warning, call.Pos(),
+				fmt.Sprintf("%s inside deterministic engine package: %s", symbol, reason),
+				"inject the value from the caller, or add a vetted entry to the impureAllowlist table in internal/golint"))
+			return true
+		})
+	}
+	return out
+}
+
+// impureSymbol classifies a package-qualified call; it returns the
+// canonical symbol ("time.Now") and why it breaks determinism, or
+// ("", "") for pure calls.
+func impureSymbol(pkg, name string) (symbol, reason string) {
+	switch pkg {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			return "time." + name, "wall-clock reads vary run to run"
+		}
+	case "math/rand", "math/rand/v2":
+		switch name {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			return "", "" // explicit-source constructors are the fix, not the bug
+		}
+		return "rand." + name, "the global source is seeded per process"
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			return "os." + name, "environment reads make results machine-dependent"
+		}
+	}
+	return "", ""
+}

@@ -1,0 +1,100 @@
+package golint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoaderFindsModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModPath != "repro" {
+		t.Errorf("module path = %q, want repro", l.ModPath)
+	}
+	if !strings.HasSuffix(strings.TrimRight(l.ModRoot, "/"), "repo") && l.ModRoot == "" {
+		t.Errorf("module root = %q", l.ModRoot)
+	}
+}
+
+func TestLoaderNoModule(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Error("expected error for a directory with no enclosing go.mod")
+	}
+}
+
+// TestLoadIntraModuleImports type-checks a package whose dependencies
+// are themselves module-internal (cli imports lint, netlist, gen, ...),
+// exercising the recursive source resolution path.
+func TestLoadIntraModuleImports(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("repro/internal/cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/cli" {
+		t.Fatalf("loaded %v", pkgs)
+	}
+	if pkgs[0].Types.Scope().Lookup("ExitCode") == nil {
+		t.Error("type-checked package is missing ExitCode")
+	}
+}
+
+// TestLoadWildcard expands a subtree pattern, skipping nothing when the
+// walk is rooted inside testdata explicitly.
+func TestLoadWildcard(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("../../testdata/codelint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 5 {
+		var got []string
+		for _, p := range pkgs {
+			got = append(got, p.Path)
+		}
+		t.Errorf("loaded %d packages (%v), want 5", len(pkgs), got)
+	}
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i-1].Path >= pkgs[i].Path {
+			t.Errorf("packages not in deterministic order: %s >= %s", pkgs[i-1].Path, pkgs[i].Path)
+		}
+	}
+}
+
+// TestLoadCaching asserts repeated loads return the identical package,
+// so analyzers across a run agree on type identities.
+func TestLoadCaching(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := l.Load("repro/internal/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Load("repro/internal/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Error("second load did not hit the package cache")
+	}
+}
+
+func TestLoadOutsideModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load(t.TempDir()); err == nil {
+		t.Error("expected error loading a directory outside the module")
+	}
+}

@@ -146,14 +146,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.Stats())
+	// A failed write here means the client is gone; there is no better
+	// channel to report that on.
+	_ = enc.Encode(s.Stats())
 	s.metrics.record("/v1/stats", http.StatusOK, time.Since(start).Milliseconds())
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 // engineHandler wraps one engine endpoint with the shared request glue:
@@ -259,7 +261,7 @@ func (s *Server) engineHandler(name string, parse parseFunc) http.HandlerFunc {
 		} else {
 			h.Set("X-Cache", "miss")
 		}
-		w.Write(val)
+		_, _ = w.Write(val)
 	}
 }
 

@@ -1,0 +1,54 @@
+// Package g001 is a codelint fixture: map iteration order leaking into
+// output-sensitive sinks (rule G001). SortedKeys shows the sanctioned
+// collect-then-sort shape and must stay clean.
+package g001
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Emit writes entries in map order: nondeterministic bytes.
+func Emit(w io.Writer, counts map[string]int) {
+	for k, v := range counts {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Keys collects map keys and never sorts them.
+func Keys(counts map[string]int) []string {
+	var out []string
+	for k := range counts {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Join concatenates keys in map order.
+func Join(counts map[string]int) string {
+	s := ""
+	for k := range counts {
+		s += k
+	}
+	return s
+}
+
+// SortedKeys collects then sorts: clean.
+func SortedKeys(counts map[string]int) []string {
+	out := make([]string, 0, len(counts))
+	for k := range counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total folds order-independently with no sink: clean.
+func Total(counts map[string]int) int {
+	n := 0
+	for _, v := range counts {
+		n += v
+	}
+	return n
+}

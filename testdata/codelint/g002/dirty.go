@@ -1,0 +1,24 @@
+// Command g002 is a codelint fixture: process exits that escape func
+// main or bypass the internal/cli exit-code contract (rule G002).
+package main
+
+import (
+	"log"
+	"os"
+)
+
+// bail exits from library-shaped code: two findings.
+func bail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(3)
+}
+
+func main() {
+	if len(os.Args) > 1 {
+		bail(nil)
+		os.Exit(1) // literal nonzero code bypasses the contract
+	}
+	os.Exit(0) // clean: success is always 0
+}

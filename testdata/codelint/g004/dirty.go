@@ -1,0 +1,30 @@
+// Package g004 is a codelint fixture: impure calls inside a
+// deterministic engine package (rule G004). Seeded shows the sanctioned
+// explicit-source shape and must stay clean.
+package g004
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock: finding.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Roll draws from the global, per-process RNG: finding.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Tune reads the environment: finding.
+func Tune() string {
+	return os.Getenv("G004_TUNE")
+}
+
+// Seeded threads an explicit seed: clean.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}

@@ -1,0 +1,28 @@
+// Package g005 is a codelint fixture: error-hygiene defects (rule
+// G005). WrapWell shows %w wrapping and must stay clean.
+package g005
+
+import (
+	"fmt"
+	"os"
+)
+
+// Cleanup silently discards the removal error: finding (warning).
+func Cleanup(path string) {
+	os.Remove(path)
+}
+
+// Wrap interpolates a live error without %w: finding (info).
+func Wrap(err error) error {
+	return fmt.Errorf("plan failed: %v", err)
+}
+
+// WrapWell keeps the chain: clean.
+func WrapWell(err error) error {
+	return fmt.Errorf("plan failed: %w", err)
+}
+
+// CleanupRecorded discards visibly: clean.
+func CleanupRecorded(path string) {
+	_ = os.Remove(path)
+}
