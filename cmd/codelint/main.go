@@ -3,8 +3,9 @@
 // map-iteration order leaking into output (G001), process exits that
 // bypass the internal/cli exit-code contract (G002), dropped or
 // shadowed context.Context arguments (G003), impure calls inside
-// deterministic engine packages (G004), and error-hygiene defects
-// (G005).
+// deterministic engine packages (G004), error-hygiene defects (G005),
+// and exported symbols in API-bearing packages missing leading-name
+// godoc comments (G006).
 //
 // Inputs are positional package patterns — directory paths, module
 // import paths, or "/..." wildcards — defaulting to ./... from the

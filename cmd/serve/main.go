@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +48,7 @@ func main() {
 	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "per-request deadline")
 	flag.Int64Var(&cfg.maxBody, "max-body", 8<<20, "max request body bytes")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "opt-in pprof/expvar listener on a separate address (bind to localhost; never expose publicly)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -63,6 +65,7 @@ type config struct {
 	requestTimeout time.Duration
 	maxBody        int64
 	drainTimeout   time.Duration
+	debugAddr      string
 }
 
 // validate rejects configurations the server cannot run with; the
@@ -81,8 +84,25 @@ func (c config) validate() error {
 		return cli.Usage(fmt.Errorf("-max-body must be positive (got %v)", c.maxBody))
 	case c.drainTimeout <= 0:
 		return cli.Usage(fmt.Errorf("-drain-timeout must be positive (got %v)", c.drainTimeout))
+	case c.debugAddr != "" && c.debugAddr == c.addr:
+		return cli.Usage(fmt.Errorf("-debug-addr must differ from -addr (both %q): the profiling listener must never share the public socket", c.addr))
 	}
 	return nil
+}
+
+// debugHandler assembles the profiling mux served on -debug-addr: the
+// full net/http/pprof surface plus the expvar counters. It is mounted
+// on its own listener, never the public one, so operators can firewall
+// it by address — pprof exposes heap contents and must not be public.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 func run(cfg config) error {
@@ -102,13 +122,24 @@ func run(cfg config) error {
 	mux.Handle("/debug/vars", expvar.Handler())
 
 	srv := &http.Server{Addr: cfg.addr, Handler: mux}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()
 	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", cfg.addr)
+
+	var debugSrv *http.Server
+	if cfg.debugAddr != "" {
+		debugSrv = &http.Server{Addr: cfg.debugAddr, Handler: debugHandler()}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serve: pprof/expvar debug listener on %s (do not expose publicly)\n", cfg.debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -122,6 +153,11 @@ func run(cfg config) error {
 	fmt.Fprintln(os.Stderr, "serve: shutting down, draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+	if debugSrv != nil {
+		// The debug listener has no long-lived requests worth draining;
+		// close it outright so only the public drain gates the exit.
+		_ = debugSrv.Close()
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

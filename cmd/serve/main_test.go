@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -35,6 +38,7 @@ func TestValidateRejectsBadConfig(t *testing.T) {
 		{"zero request timeout", func(c *config) { c.requestTimeout = 0 }, "-request-timeout"},
 		{"zero max body", func(c *config) { c.maxBody = 0 }, "-max-body"},
 		{"negative drain", func(c *config) { c.drainTimeout = -time.Second }, "-drain-timeout"},
+		{"debug addr shadows public addr", func(c *config) { c.addr = ":8080"; c.debugAddr = ":8080" }, "-debug-addr"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,5 +86,50 @@ func TestRunRejectsBeforeListening(t *testing.T) {
 	err := run(cfg)
 	if code := cli.ExitCode(err); code != cli.ExitUsage {
 		t.Errorf("exit code = %d, want %d (err %v)", code, cli.ExitUsage, err)
+	}
+}
+
+// TestDebugHandlerServesPprofAndExpvar probes the debug mux directly:
+// the pprof index and the expvar counters must answer, and nothing is
+// mounted at the root — the debug listener carries only /debug paths.
+func TestDebugHandlerServesPprofAndExpvar(t *testing.T) {
+	ts := httptest.NewServer(debugHandler())
+	defer ts.Close()
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/vars"} {
+		if code := get(path); code != http.StatusOK {
+			t.Errorf("GET %s = %d, want %d", path, code, http.StatusOK)
+		}
+	}
+	if code := get("/"); code == http.StatusOK {
+		t.Error("debug listener serves the root path; it must only expose /debug")
+	}
+}
+
+// TestRunDebugListenFailure pins that a broken -debug-addr surfaces as
+// a runtime failure naming the debug listener, not a silent drop.
+func TestRunDebugListenFailure(t *testing.T) {
+	cfg := goodConfig()
+	cfg.debugAddr = "256.256.256.256:99999" // unresolvable
+	err := run(cfg)
+	if err == nil {
+		t.Fatal("run succeeded with an unresolvable debug address")
+	}
+	if !strings.Contains(err.Error(), "debug listener") {
+		t.Errorf("error %q does not name the debug listener", err)
+	}
+	if code := cli.ExitCode(err); code != cli.ExitFailure {
+		t.Errorf("exit code = %d, want %d", code, cli.ExitFailure)
 	}
 }

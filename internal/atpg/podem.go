@@ -53,11 +53,11 @@ type Status uint8
 
 // PODEM outcomes.
 const (
-	// Detected: a test vector was found.
+	// Detected means a test vector was found.
 	Detected Status = iota
-	// Redundant: the search space was exhausted; no test exists.
+	// Redundant means the search space was exhausted; no test exists.
 	Redundant
-	// Aborted: the backtrack limit was hit before a conclusion.
+	// Aborted means the backtrack limit was hit before a conclusion.
 	Aborted
 )
 

@@ -75,6 +75,35 @@ func (t *Table) Write(w io.Writer) error {
 	return err
 }
 
+// Markdown renders the table as a GitHub-flavored markdown table with
+// the title as a bold caption line and the notes as a trailing
+// italicized list — the form EXPERIMENTS.md embeds directly.
+func (t *Table) Markdown(w io.Writer) error {
+	var b strings.Builder
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s — %s**\n\n", t.ID, t.Title)
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(cols, " | "))
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(cells, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
 // CSV renders the table as comma-separated values (cells containing
 // commas are quoted).
 func (t *Table) CSV(w io.Writer) error {

@@ -20,6 +20,27 @@ var engineContextPackages = []string{
 	"testdata/codelint/g003",
 }
 
+// docCommentPackages are the packages whose exported symbols must
+// carry leading-name godoc comments (G006): the engine and serving
+// packages whose APIs the README, DESIGN.md, and godoc render. The
+// testdata entry keeps the rule's golden fixture honest.
+var docCommentPackages = []string{
+	"internal/fsim",
+	"internal/atpg",
+	"internal/tpi",
+	"internal/implic",
+	"internal/fault",
+	"internal/netlist",
+	"internal/serve",
+	"internal/perf",
+	"testdata/codelint/g006",
+}
+
+// isDocCommentPackage reports whether G006 applies to the package.
+func isDocCommentPackage(path string) bool {
+	return pathMatchesAny(path, docCommentPackages)
+}
+
 // deterministicExtraPackages extends G004's deterministic-engine set
 // (every package under internal/) with paths outside internal/ that
 // must obey the same purity contract.
@@ -54,6 +75,9 @@ var impureAllowlist = map[string][]string{
 	// exp reports wall-clock runtime as an experiment column; timing is
 	// the measurement itself, not state any engine result depends on.
 	"internal/exp": {"time.Now", "time.Since"},
+	// perf is the benchmark harness: wall-clock reads are its entire
+	// purpose, and its reports are never cached engine results.
+	"internal/perf": {"time.Now", "time.Since"},
 }
 
 // allowedImpurity reports whether the qualified symbol (e.g.

@@ -1,0 +1,171 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// analyzerG006 enforces godoc coverage on the API-bearing packages
+// (the docCommentPackages table in allowlist.go): every exported
+// package-level symbol — function, method on an exported type, type,
+// constant, variable — must carry a doc comment whose first word is
+// the symbol's name, the form godoc renders and `go doc` searches.
+//
+// Grouped const/var/type declarations may share one group comment
+// (the standard godoc idiom for enumerations); a symbol inside a
+// documented group is covered, but a symbol-level comment, when
+// present, must still lead with the symbol name. Directive-only
+// comments (//go:...) do not count as documentation.
+func analyzerG006() *Analyzer {
+	return &Analyzer{
+		ID:   RuleDocComment,
+		Name: "doc-comment",
+		Doc:  "exported symbols in API-bearing packages missing a leading-name godoc comment",
+		Run:  runG006,
+	}
+}
+
+func runG006(p *Pass) []Finding {
+	if !isDocCommentPackage(p.Pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				out = append(out, checkFuncDoc(p, d)...)
+			case *ast.GenDecl:
+				out = append(out, checkGenDeclDoc(p, d)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkFuncDoc grades one function or method declaration.
+func checkFuncDoc(p *Pass, d *ast.FuncDecl) []Finding {
+	if !d.Name.IsExported() {
+		return nil
+	}
+	kind := "function"
+	if d.Recv != nil {
+		recv := receiverTypeName(d.Recv)
+		if recv == "" || !token.IsExported(recv) {
+			return nil // methods on unexported types are not API surface
+		}
+		kind = "method"
+	}
+	return docFinding(p, d.Pos(), kind, d.Name.Name, d.Doc, false)
+}
+
+// checkGenDeclDoc grades the exported specs of a const, var, or type
+// declaration. A doc comment on a parenthesized group covers every
+// spec inside it; a spec-level comment, when present, is still held to
+// the leading-name form.
+func checkGenDeclDoc(p *Pass, d *ast.GenDecl) []Finding {
+	var kind string
+	switch d.Tok {
+	case token.CONST:
+		kind = "const"
+	case token.VAR:
+		kind = "var"
+	case token.TYPE:
+		kind = "type"
+	default:
+		return nil
+	}
+	grouped := d.Lparen.IsValid()
+	groupDocumented := grouped && docText(d.Doc) != ""
+	var out []Finding
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if !grouped && doc == nil {
+				doc = d.Doc
+			}
+			out = append(out, docFinding(p, s.Pos(), kind, s.Name.Name, doc, groupDocumented)...)
+		case *ast.ValueSpec:
+			doc := s.Doc
+			if !grouped && doc == nil {
+				doc = d.Doc
+			}
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				out = append(out, docFinding(p, name.Pos(), kind, name.Name, doc, groupDocumented)...)
+				break // one finding per spec: further names share the comment
+			}
+		}
+	}
+	return out
+}
+
+// docFinding applies the two-part rule at one symbol: a doc comment
+// must exist (unless the enclosing group carries one), and when a
+// symbol-level comment exists its first word must be the symbol name.
+func docFinding(p *Pass, pos token.Pos, kind, name string, doc *ast.CommentGroup, groupDocumented bool) []Finding {
+	text := docText(doc)
+	if text == "" {
+		if groupDocumented {
+			return nil
+		}
+		return []Finding{p.finding(RuleDocComment, Warning, pos,
+			fmt.Sprintf("exported %s %s has no doc comment", kind, name),
+			fmt.Sprintf("add a godoc comment of the form %q", "// "+name+" ..."))}
+	}
+	if first := firstWord(text); first != name {
+		return []Finding{p.finding(RuleDocComment, Warning, pos,
+			fmt.Sprintf("doc comment of exported %s %s starts with %q, not the symbol name", kind, name, first),
+			fmt.Sprintf("reword the comment to start with %q so godoc and go doc anchor it", name))}
+	}
+	return nil
+}
+
+// docText returns the rendered documentation text of a comment group,
+// "" when the group is nil or contains only directives.
+func docText(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	return strings.TrimSpace(doc.Text())
+}
+
+// firstWord returns the first whitespace-delimited token of the text.
+func firstWord(text string) string {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+// receiverTypeName resolves the base type name of a method receiver
+// ("T" for both T and *T, including generic instantiations).
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

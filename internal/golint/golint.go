@@ -23,6 +23,9 @@
 //	     the vetted package allowlist (see allowlist.go)
 //	G005 error-hygiene               discarded error returns and
 //	     fmt.Errorf wrapping a live error without %w
+//	G006 doc-comment                 exported symbols in the API-bearing
+//	     packages missing a godoc comment whose first word is the
+//	     symbol name (see the docCommentPackages table in allowlist.go)
 //
 // Findings mirror the internal/lint model — stable rule IDs, the same
 // Severity scale, a locus, and a fix hint — so cmd/lint and
@@ -68,6 +71,9 @@ const (
 	// RuleErrorHygiene: discarded error return, or fmt.Errorf wrapping
 	// an error value without %w.
 	RuleErrorHygiene = "G005"
+	// RuleDocComment: exported symbol in an API-bearing package missing
+	// a godoc comment whose first word is the symbol name.
+	RuleDocComment = "G006"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -119,6 +125,7 @@ func Analyzers() []*Analyzer {
 		analyzerG003(),
 		analyzerG004(),
 		analyzerG005(),
+		analyzerG006(),
 	}
 }
 

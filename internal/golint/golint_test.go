@@ -62,6 +62,7 @@ func TestFixturesMatchGoldens(t *testing.T) {
 		{"g003", RuleContextDiscipline, 4},
 		{"g004", RuleImpureEngine, 3},
 		{"g005", RuleErrorHygiene, 2},
+		{"g006", RuleDocComment, 4},
 	} {
 		t.Run(fixture.name, func(t *testing.T) {
 			rep := analyzeFixture(t, fixture.name)
@@ -127,7 +128,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 			t.Errorf("analyzer %s incompletely declared", a.ID)
 		}
 	}
-	want := []string{"G001", "G002", "G003", "G004", "G005"}
+	want := []string{"G001", "G002", "G003", "G004", "G005", "G006"}
 	if !reflect.DeepEqual(ids, want) {
 		t.Errorf("registry IDs = %v, want %v", ids, want)
 	}
@@ -143,6 +144,7 @@ func TestCleanShapesStayClean(t *testing.T) {
 		"g003": {26, 38}, // Compat, step
 		"g004": {27, 30}, // Seeded
 		"g005": {21, 29}, // WrapWell, CleanupRecorded
+		"g006": {6, 7},   // Threshold (documented with the leading name)
 	}
 	for name, span := range cleanFuncs {
 		rep := analyzeFixture(t, name)

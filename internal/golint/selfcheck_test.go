@@ -44,6 +44,7 @@ func TestAllowlistPinned(t *testing.T) {
 	want := map[string][]string{
 		"internal/serve": {"time.Now", "time.Since"},
 		"internal/exp":   {"time.Now", "time.Since"},
+		"internal/perf":  {"time.Now", "time.Since"},
 	}
 	if len(impureAllowlist) != len(want) {
 		t.Errorf("allowlist covers %d packages, want %d", len(impureAllowlist), len(want))
@@ -75,7 +76,7 @@ func TestAllowlistLoadBearing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range []string{"repro/internal/serve", "repro/internal/exp"} {
+	for _, path := range []string{"repro/internal/serve", "repro/internal/exp", "repro/internal/perf"} {
 		pkgs, err := l.Load(path)
 		if err != nil {
 			t.Fatal(err)

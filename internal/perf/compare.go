@@ -1,0 +1,88 @@
+package perf
+
+import "fmt"
+
+// Violation kinds produced by Compare.
+const (
+	// KindMissing marks a baseline benchmark absent from the current
+	// report.
+	KindMissing = "missing"
+	// KindSlower marks a benchmark whose ns/op regressed beyond the
+	// tolerance factor.
+	KindSlower = "slower"
+	// KindModeMismatch marks a short-mode report compared against a
+	// full-mode baseline (or vice versa) — the workloads differ, so
+	// the ratio would be meaningless.
+	KindModeMismatch = "mode-mismatch"
+	// KindSchemaMismatch marks reports from different schema versions.
+	KindSchemaMismatch = "schema-mismatch"
+)
+
+// Violation is one way a current report fails the tolerance gate
+// against a baseline.
+type Violation struct {
+	// Benchmark names the offending benchmark ("" for report-level
+	// violations like a mode mismatch).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Detail is the human-readable account.
+	Detail string `json:"detail"`
+	// Factor is the ns/op ratio current/baseline for KindSlower.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// String renders the violation in one line.
+func (v Violation) String() string {
+	if v.Benchmark == "" {
+		return fmt.Sprintf("%s: %s", v.Kind, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s: %s", v.Benchmark, v.Kind, v.Detail)
+}
+
+// Compare gates a current report against a committed baseline with a
+// generous tolerance: a violation is reported when a baseline
+// benchmark is missing, or when its ns/op grew by more than maxFactor
+// (<= 0 selects 10x — the gate is meant to catch order-of-magnitude
+// regressions, not machine-to-machine noise). Benchmarks present only
+// in the current report are new, not violations. The reports must be
+// the same schema version and mode (short vs full); otherwise a single
+// report-level violation is returned and no pairing is attempted.
+func Compare(baseline, current *Report, maxFactor float64) []Violation {
+	if maxFactor <= 0 {
+		maxFactor = 10
+	}
+	if baseline.Schema != current.Schema {
+		return []Violation{{Kind: KindSchemaMismatch, Detail: fmt.Sprintf(
+			"baseline schema %q vs current %q", baseline.Schema, current.Schema)}}
+	}
+	if baseline.Meta.Short != current.Meta.Short {
+		return []Violation{{Kind: KindModeMismatch, Detail: fmt.Sprintf(
+			"baseline short=%v vs current short=%v: workloads are not comparable",
+			baseline.Meta.Short, current.Meta.Short)}}
+	}
+	cur := make(map[string]*Result, len(current.Benchmarks))
+	for i := range current.Benchmarks {
+		cur[current.Benchmarks[i].Name] = &current.Benchmarks[i]
+	}
+	var out []Violation
+	for i := range baseline.Benchmarks {
+		base := &baseline.Benchmarks[i]
+		got, ok := cur[base.Name]
+		if !ok {
+			out = append(out, Violation{Benchmark: base.Name, Kind: KindMissing,
+				Detail: "present in baseline, absent from current report"})
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			continue // nothing to ratio against
+		}
+		factor := got.NsPerOp / base.NsPerOp
+		if factor > maxFactor {
+			out = append(out, Violation{Benchmark: base.Name, Kind: KindSlower, Factor: factor,
+				Detail: fmt.Sprintf("ns/op %.0f vs baseline %.0f (%.1fx > %.1fx tolerance)",
+					got.NsPerOp, base.NsPerOp, factor, maxFactor)})
+		}
+	}
+	return out
+}

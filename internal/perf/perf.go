@@ -1,0 +1,55 @@
+// Package perf is the reproducible benchmark harness: a registry of
+// canonical engine workloads (fault simulation serial and parallel,
+// PODEM with and without learned implications, the test-point planners
+// with and without the static pre-prune, and the serving stack cache
+// hit vs miss), a calibrated runner (warmup, fixed-work iterations,
+// wall-clock and allocation accounting, per-benchmark GOMAXPROCS), and
+// a canonical JSON report schema with a tolerance-gate comparator for
+// CI regression checks.
+//
+// The package is stdlib-only, like every engine it measures. Reports
+// are written by cmd/bench as BENCH_*.json; the committed baseline
+// lives in testdata/bench/ and the CI bench-smoke job fails only on
+// order-of-magnitude regressions (see Compare).
+//
+// Wall-clock reads (time.Now/Since) are the measurement itself here,
+// not state an engine result depends on; the package carries a vetted
+// G004 allowlist entry for exactly that reason.
+package perf
+
+// Group names for the canonical suite. Validate requires a report to
+// span all four: a report that silently lost an engine group is a
+// harness bug, not a slow machine.
+const (
+	// GroupFsim covers the PPSFP fault simulator.
+	GroupFsim = "fsim"
+	// GroupATPG covers PODEM deterministic test generation.
+	GroupATPG = "atpg"
+	// GroupTPI covers the test point insertion planners.
+	GroupTPI = "tpi"
+	// GroupServe covers the HTTP serving stack.
+	GroupServe = "serve"
+)
+
+// Benchmark is one registered workload: a named, parameterized unit of
+// engine work. Setup builds the workload (circuits, fault lists,
+// servers) outside the measured region and returns the operation to
+// time; the runner calls the returned op once per iteration.
+type Benchmark struct {
+	// Name is the canonical slash-separated identifier, unique within
+	// the suite (e.g. "fsim/parallel/w4").
+	Name string
+	// Group is the engine family (one of the Group* constants).
+	Group string
+	// Info is a one-line human description of the workload.
+	Info string
+	// Params records the workload knobs (workers, learn, prune, ...)
+	// for machine consumption; it must be identical run to run.
+	Params map[string]string
+	// GOMAXPROCS, when positive, is set for the duration of the
+	// benchmark and restored afterwards — the parallel-engine sweep.
+	GOMAXPROCS int
+	// Setup builds the workload and returns the operation to measure
+	// plus an optional cleanup (either may rely on being called once).
+	Setup func() (op func() error, cleanup func(), err error)
+}

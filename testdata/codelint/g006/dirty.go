@@ -1,0 +1,29 @@
+// Package g006 is a codelint fixture: exported symbols missing
+// leading-name godoc comments (rule G006). Threshold, the Grouped
+// block, Planner, and the unexported helper must stay clean.
+package g006
+
+// Threshold is documented with the leading-name form: clean.
+const Threshold = 42
+
+// The per-region budget cap — the first word is not the symbol name:
+// finding.
+const Budget = 8
+
+// Exported constants may share one group comment: clean.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var MaxDepth = 16 // trailing comments are not doc comments: finding
+
+// Planner is an exported type: documented, clean.
+type Planner struct{}
+
+func (Planner) Solve() int { return 0 } // undocumented exported method: finding
+
+func Seeded(seed int64) int64 { return seed } // undocumented exported function: finding
+
+// helper is unexported: no doc required, clean.
+func helper() {}
