@@ -4,8 +4,10 @@
 // bypass the internal/cli exit-code contract (G002), dropped or
 // shadowed context.Context arguments (G003), impure calls inside
 // deterministic engine packages (G004), error-hygiene defects (G005),
-// and exported symbols in API-bearing packages missing leading-name
-// godoc comments (G006).
+// exported symbols in API-bearing packages missing leading-name godoc
+// comments (G006), allocations reachable from the measured engine
+// loops (G007), goroutine discipline (G008), lock discipline (G009),
+// and unsynchronized worker-state sharing (G010).
 //
 // Inputs are positional package patterns — directory paths, module
 // import paths, or "/..." wildcards — defaulting to ./... from the
@@ -19,6 +21,7 @@
 //	codelint ./...
 //	codelint -json ./internal/serve
 //	codelint -severity info -fail error ./cmd/...
+//	codelint -only g007,g010 ./internal/fsim
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/golint"
@@ -37,6 +41,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
 		sevName  = flag.String("severity", "info", "minimum severity to report: info | warning | error")
 		failName = flag.String("fail", "warning", "minimum severity that fails the run: info | warning | error")
+		only     = flag.String("only", "", "comma-separated rule IDs to run (e.g. g007,g010); default all")
 		dir      = flag.String("C", ".", "directory whose enclosing module is analyzed")
 	)
 	flag.Parse()
@@ -46,6 +51,7 @@ func main() {
 		jsonOut:  *jsonOut,
 		sevName:  *sevName,
 		failName: *failName,
+		only:     *only,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "codelint:", err)
@@ -63,6 +69,7 @@ type config struct {
 	jsonOut  bool
 	sevName  string
 	failName string
+	only     string
 }
 
 // jsonReport is the stable JSON shape: module, severity counts, and
@@ -86,6 +93,13 @@ func run(w io.Writer, cfg config) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	analyzers := golint.Analyzers()
+	if cfg.only != "" {
+		analyzers, err = golint.Select(analyzers, strings.Split(cfg.only, ","))
+		if err != nil {
+			return false, err
+		}
+	}
 	loader, err := golint.NewLoader(cfg.dir)
 	if err != nil {
 		return false, err
@@ -94,7 +108,7 @@ func run(w io.Writer, cfg config) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	rep := golint.Run(loader, pkgs, golint.Analyzers())
+	rep := golint.Run(loader, pkgs, analyzers)
 
 	failed := false
 	if s, ok := rep.MaxSeverity(); ok && s >= failSev {

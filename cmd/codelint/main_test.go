@@ -22,7 +22,7 @@ func fixture(t *testing.T, name string) string {
 // output must be order-deterministic and byte-stable, the same
 // contract the serve cache enforces on engine responses.
 func TestGoldenJSON(t *testing.T) {
-	for _, rule := range []string{"g001", "g002", "g003", "g004", "g005", "g006"} {
+	for _, rule := range []string{"g001", "g002", "g003", "g004", "g005", "g006", "g007", "g008", "g009", "g010"} {
 		t.Run(rule, func(t *testing.T) {
 			want, err := os.ReadFile(fixture(t, rule+".golden.json"))
 			if err != nil {
@@ -96,6 +96,49 @@ func TestFailSeverity(t *testing.T) {
 	}
 }
 
+// TestOnlySelection covers the -only rule filter: selected rules fire,
+// everything else stays quiet, and the selection composes with the
+// severity gate.
+func TestOnlySelection(t *testing.T) {
+	var out bytes.Buffer
+	failed, err := run(&out, config{
+		dir:      ".",
+		patterns: []string{fixture(t, "g007"), fixture(t, "g008")},
+		sevName:  "info",
+		failName: "warning",
+		only:     "g007,g010",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("-only g007,g010 should still fail on the g007 fixture")
+	}
+	text := out.String()
+	if !bytes.Contains([]byte(text), []byte("G007")) {
+		t.Errorf("selected rule G007 missing from output:\n%s", text)
+	}
+	if bytes.Contains([]byte(text), []byte("G008")) {
+		t.Errorf("unselected rule G008 leaked into output:\n%s", text)
+	}
+
+	// Deselecting the fixture's rule turns the run clean.
+	out.Reset()
+	failed, err = run(&out, config{
+		dir:      ".",
+		patterns: []string{fixture(t, "g008")},
+		sevName:  "info",
+		failName: "warning",
+		only:     "g009",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Errorf("-only g009 on the g008 fixture should be clean:\n%s", out.String())
+	}
+}
+
 // TestUsageErrors pins the exit-code contract for bad invocations:
 // every run error maps to ExitUsage through cli.Usage.
 func TestUsageErrors(t *testing.T) {
@@ -103,7 +146,8 @@ func TestUsageErrors(t *testing.T) {
 		{dir: ".", sevName: "loud", failName: "error"},
 		{dir: ".", sevName: "info", failName: "silent"},
 		{dir: ".", sevName: "info", failName: "error", patterns: []string{"/nonexistent/pkg"}},
-		{dir: "/", sevName: "info", failName: "error"}, // no enclosing module
+		{dir: ".", sevName: "info", failName: "error", only: "g999"}, // unknown rule
+		{dir: "/", sevName: "info", failName: "error"},               // no enclosing module
 	} {
 		var out bytes.Buffer
 		_, err := run(&out, cfg)

@@ -114,6 +114,11 @@ type engine struct {
 	implied    []Value // fault-free values forced by the current assignment
 	impTouched []int   // signals set in implied, for O(touched) reset
 
+	// Fan-in scratch reused across imply calls: imply runs once per
+	// search decision and backtrack, so per-call allocation here is what
+	// the allocs/op regression test (and golint G007) forbid.
+	inG, inB []Value
+
 	// done aborts the search when it becomes readable (nil = never);
 	// ctxErr records ctx.Err() when that happened.
 	ctx    context.Context
@@ -148,6 +153,8 @@ func GenerateContext(ctx context.Context, c *netlist.Circuit, f fault.Fault, opt
 		bad:    make([]Value, c.NumGates()),
 		assign: make([]Value, c.NumInputs()),
 		limit:  limit,
+		inG:    make([]Value, 0, 8),
+		inB:    make([]Value, 0, 8),
 		ctx:    ctx,
 		done:   ctx.Done(),
 	}
@@ -191,8 +198,7 @@ func (e *engine) imply() {
 		e.good[in] = e.assign[i]
 		e.bad[in] = e.assign[i]
 	}
-	inG := make([]Value, 0, 8)
-	inB := make([]Value, 0, 8)
+	inG, inB := e.inG[:0], e.inB[:0]
 	for _, id := range c.TopoOrder() {
 		g := c.Gate(id)
 		if g.Type != netlist.Input {
@@ -213,6 +219,8 @@ func (e *engine) imply() {
 			e.bad[id] = stuckValue(e.f.Stuck)
 		}
 	}
+	// Keep any growth, so the backing arrays are warm for the next call.
+	e.inG, e.inB = inG, inB
 }
 
 func stuckValue(s bool) Value {

@@ -80,6 +80,90 @@ var impureAllowlist = map[string][]string{
 	"internal/perf": {"time.Now", "time.Since"},
 }
 
+// hotLoopEntries pins the measured-loop entry functions for G007: the
+// innermost engine functions whose main loop is what the benchmarks
+// time. Allocation sites inside those loops — and in everything the
+// loops call, transitively — are hot-path findings. The table names the
+// innermost loop owners deliberately: planners and parallel drivers
+// above them (GenerateTestsContext, RunParallelContext, …) do per-run
+// setup that is allowed to allocate. Matching is by function name
+// within the package (methods included), which is unambiguous for the
+// pinned set and keeps the table free of receiver spellings. The
+// testdata entry keeps the rule's golden fixture honest.
+var hotLoopEntries = []struct {
+	pkg   string
+	funcs []string
+}{
+	{"internal/fsim", []string{"RunContext"}},
+	{"internal/atpg", []string{"search"}},
+	{"internal/tpi", []string{"solve", "run"}},
+	{"internal/implic", []string{"sweep", "learn"}},
+	{"testdata/codelint/g007", []string{"Hot"}},
+}
+
+// isHotLoopEntry reports whether the function is a pinned measured-loop
+// entry for G007.
+func isHotLoopEntry(pkgPath, fn string) bool {
+	for _, e := range hotLoopEntries {
+		if !pathMatchesAny(pkgPath, []string{e.pkg}) {
+			continue
+		}
+		for _, f := range e.funcs {
+			if f == fn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hotAllocAllowlist enumerates the vetted allocation-bearing functions
+// reachable from a measured loop (G007). Every entry must say why the
+// allocation cannot dominate the steady state — typically because the
+// function builds the algorithm's *output* (amortized once per node or
+// region, not once per pattern). The self-check test pins this table;
+// growing it is a reviewed decision, not a reflex.
+var hotAllocAllowlist = []struct {
+	pkg, fn, why string
+}{
+	// The cut DP builds one result row per processed node; its slices
+	// ARE the dynamic-programming table, sized by circuit shape, not by
+	// pattern count.
+	{"internal/tpi", "computeNode", "DP table rows are the output, amortized once per node"},
+	{"internal/tpi", "exportsOf", "export rows are DP output, amortized once per node"},
+	// The fixture entry proves a listed function's sites go quiet while
+	// its unlisted neighbors still fire.
+	{"testdata/codelint/g007", "Warm", "fixture: vetted setup-phase allocation"},
+}
+
+// hotAllocAllowed reports whether the function's allocation sites are
+// vetted for G007.
+func hotAllocAllowed(pkgPath, fn string) bool {
+	for _, e := range hotAllocAllowlist {
+		if e.fn == fn && pathMatchesAny(pkgPath, []string{e.pkg}) {
+			return true
+		}
+	}
+	return false
+}
+
+// engineCallPackages are the packages whose entry points run engine
+// work: calling into them while holding a mutex serializes the engines
+// behind the lock (G009). The testdata entry is exercised by the g009
+// fixture through internal/implic.
+var engineCallPackages = []string{
+	"internal/fsim",
+	"internal/atpg",
+	"internal/tpi",
+	"internal/implic",
+}
+
+// isEngineCallPackage reports whether calls into the package count as
+// engine calls for G009.
+func isEngineCallPackage(path string) bool {
+	return pathMatchesAny(path, engineCallPackages)
+}
+
 // allowedImpurity reports whether the qualified symbol (e.g.
 // "time.Now") is allowlisted for the package.
 func allowedImpurity(pkgPath, symbol string) bool {

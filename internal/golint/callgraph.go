@@ -1,0 +1,384 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the whole-module half of the framework: where the G001–
+// G006 analyzers judge one file at a time, the concurrency and
+// allocation rules (G007–G010) need to know what a function *reaches* —
+// an allocation is only a hot-path bug if the function holding it is
+// called from a measured loop, possibly through several layers of
+// helpers. ModuleFacts builds that view once per Run: an intra-module
+// static call graph with a per-function summary (allocation sites,
+// callees with loop context, goroutine spawns, lock use, captured-
+// variable writes) that every analyzer can query through Pass.Mod.
+
+// allocSite is one statically-identified allocation in a function body.
+type allocSite struct {
+	pos token.Pos
+	// what names the allocating construct for the finding message, e.g.
+	// "make([]Value)" or "append that may grow its backing array".
+	what string
+	// inLoop reports whether the site sits inside a for/range body of
+	// its enclosing declared function.
+	inLoop bool
+	// cold reports whether the site sits on an error/panic path (a
+	// block that returns a non-nil error or panics), which the hot-path
+	// rule tolerates: failure paths run once, not per iteration.
+	cold bool
+}
+
+// callSite is one statically-resolved call to a module-internal
+// function.
+type callSite struct {
+	callee *types.Func
+	pos    token.Pos
+	inLoop bool
+}
+
+// funcFacts is the per-function summary node of the call graph.
+type funcFacts struct {
+	fn   *types.Func
+	pkg  *Package
+	decl *ast.FuncDecl
+
+	allocs []allocSite
+	calls  []callSite
+
+	// spawnsGoroutines / takesLocks / writesCaptured are the coarse
+	// flags the concurrency rules and future analyzers key on.
+	spawnsGoroutines bool
+	takesLocks       bool
+	writesCaptured   bool
+}
+
+// ModuleFacts is the whole-module analysis context shared by every
+// analyzer of one Run: the call graph over the packages under analysis.
+// Functions in packages that were loaded only as dependencies (not
+// asked for) are absent, so analysis scope follows the requested
+// patterns exactly as it does for the per-file rules.
+type ModuleFacts struct {
+	modPath string
+	funcs   map[*types.Func]*funcFacts
+	// order lists the summarized functions deterministically (package,
+	// file, position) so every traversal of the graph is replayable.
+	order []*types.Func
+
+	hot map[*types.Func]string // lazily-built hot set, see hotFuncs
+}
+
+// newModuleFacts summarizes every function declaration of the given
+// packages.
+func newModuleFacts(l *Loader, pkgs []*Package) *ModuleFacts {
+	m := &ModuleFacts{
+		modPath: l.ModPath,
+		funcs:   make(map[*types.Func]*funcFacts),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, fd := range funcDecls(file) {
+				if fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ff := &funcFacts{fn: fn, pkg: pkg, decl: fd}
+				summarize(l, pkg, fd, ff)
+				m.funcs[fn] = ff
+				m.order = append(m.order, fn)
+			}
+		}
+	}
+	return m
+}
+
+// factsOf returns the summary for fn, or nil when fn is outside the
+// analyzed set.
+func (m *ModuleFacts) factsOf(fn *types.Func) *funcFacts { return m.funcs[fn] }
+
+// summarize fills ff by walking the function body once with an ancestor
+// stack, classifying allocation sites, resolving static callees, and
+// raising the concurrency flags.
+func summarize(l *Loader, pkg *Package, fd *ast.FuncDecl, ff *funcFacts) {
+	info := pkg.Info
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			ff.spawnsGoroutines = true
+		case *ast.AssignStmt, *ast.IncDecStmt:
+			if innermostFuncLit(stack) != nil && writesEnclosingVar(info, n, stack) {
+				ff.writesCaptured = true
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
+				ff.allocs = append(ff.allocs, newAllocSite(info, n.OpPos,
+					"string concatenation builds a fresh string", fd, stack))
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					ff.allocs = append(ff.allocs, newAllocSite(info, n.Pos(),
+						fmt.Sprintf("&%s{…} composite literal escapes to the heap", exprText(compositeTypeExpr(n.X.(*ast.CompositeLit)))), fd, stack))
+				}
+			}
+		case *ast.CompositeLit:
+			if site, ok := compositeAlloc(info, n, stack); ok {
+				ff.allocs = append(ff.allocs, newAllocSite(info, n.Pos(), site, fd, stack))
+			}
+		case *ast.CallExpr:
+			summarizeCall(l, pkg, fd, ff, n, stack)
+		}
+		return true
+	})
+}
+
+// summarizeCall classifies one call expression: builtin allocators,
+// allocating conversions, known stdlib allocators, lock acquisition,
+// and statically-resolved module-internal callees.
+func summarizeCall(l *Loader, pkg *Package, fd *ast.FuncDecl, ff *funcFacts, call *ast.CallExpr, stack []ast.Node) {
+	info := pkg.Info
+	// Builtins: make and new always allocate; append allocates when it
+	// grows, so everything except the x = append(x, …) reuse idiom (and
+	// its x = append(x[:k], …) reslice form) counts.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				ff.allocs = append(ff.allocs, newAllocSite(info, call.Pos(),
+					fmt.Sprintf("make(%s)", exprText(call.Args[0])), fd, stack))
+			case "new":
+				ff.allocs = append(ff.allocs, newAllocSite(info, call.Pos(),
+					fmt.Sprintf("new(%s)", exprText(call.Args[0])), fd, stack))
+			case "append":
+				if !isSelfAppend(call, stack) {
+					ff.allocs = append(ff.allocs, newAllocSite(info, call.Pos(),
+						fmt.Sprintf("append to %s may grow its backing array", exprText(call.Args[0])), fd, stack))
+				}
+			}
+			return
+		}
+	}
+	// Allocating conversions: string(bytes), []byte(s), []rune(s) copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := info.TypeOf(call.Fun)
+		from := info.TypeOf(call.Args[0])
+		if isCopyingConversion(to, from) {
+			ff.allocs = append(ff.allocs, newAllocSite(info, call.Pos(),
+				fmt.Sprintf("%s(…) conversion copies its operand", exprText(call.Fun)), fd, stack))
+			return
+		}
+	}
+	// Known stdlib allocators (their bodies are outside the module, so
+	// the call graph cannot see into them).
+	if path, name := pkgQualified(info, call.Fun); path != "" {
+		if reason := stdlibAllocator(path, name); reason != "" {
+			ff.allocs = append(ff.allocs, newAllocSite(info, call.Pos(), reason, fd, stack))
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") && isMutexType(info.TypeOf(sel.X)) {
+			ff.takesLocks = true
+		}
+	}
+	// Statically-resolved module-internal callee.
+	if callee := staticCallee(info, call); callee != nil &&
+		callee.Pkg() != nil && isModulePath(l.ModPath, callee.Pkg().Path()) {
+		ff.calls = append(ff.calls, callSite{callee: callee, pos: call.Pos(), inLoop: inLoopAt(stack, call.Pos())})
+	}
+}
+
+// newAllocSite records an allocation with its loop and cold-path
+// context derived from the ancestor stack.
+func newAllocSite(info *types.Info, pos token.Pos, what string, fd *ast.FuncDecl, stack []ast.Node) allocSite {
+	return allocSite{
+		pos:    pos,
+		what:   what,
+		inLoop: inLoopAt(stack, pos),
+		cold:   onColdPath(info, fd, stack),
+	}
+}
+
+// compositeAlloc classifies a composite literal: slice and map literals
+// allocate backing storage; struct and array value literals do not (and
+// &T{…} is reported at its unary parent). Untyped element literals
+// inside a surrounding slice/map literal carry no type expression and
+// are covered by the outer report.
+func compositeAlloc(info *types.Info, lit *ast.CompositeLit, stack []ast.Node) (string, bool) {
+	if lit.Type == nil {
+		return "", false
+	}
+	if len(stack) > 0 {
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			return "", false
+		}
+	}
+	switch info.TypeOf(lit).Underlying().(type) {
+	case *types.Slice:
+		return fmt.Sprintf("%s{…} slice literal allocates backing storage", exprText(lit.Type)), true
+	case *types.Map:
+		return fmt.Sprintf("%s{…} map literal allocates", exprText(lit.Type)), true
+	}
+	return "", false
+}
+
+// compositeTypeExpr returns the literal's type expression (for
+// messages); literals inside &T{…} always carry one.
+func compositeTypeExpr(lit *ast.CompositeLit) ast.Expr {
+	if lit.Type != nil {
+		return lit.Type
+	}
+	return &ast.Ident{Name: "…"}
+}
+
+// isSelfAppend recognizes the amortized reuse idiom x = append(x, …)
+// (including x = append(x[:k], …)): after warmup the backing array is
+// reused, so the steady state is allocation-free — exactly the
+// discipline the preallocated-arena rewrite institutionalizes.
+func isSelfAppend(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 || len(stack) == 0 {
+		return false
+	}
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Rhs[0] != ast.Expr(call) {
+		return false
+	}
+	dst := exprText(assign.Lhs[0])
+	src := call.Args[0]
+	if slice, ok := src.(*ast.SliceExpr); ok {
+		src = slice.X
+	}
+	return exprText(src) == dst
+}
+
+// isCopyingConversion reports whether a conversion from `from` to `to`
+// copies memory: string <-> []byte/[]rune in either direction.
+func isCopyingConversion(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+// stdlibAllocator names the well-known allocating stdlib helpers the
+// source-level walk cannot see into, with the reason used in messages.
+func stdlibAllocator(path, name string) string {
+	switch path {
+	case "fmt":
+		switch name {
+		case "Sprintf", "Sprint", "Sprintln", "Errorf":
+			return "fmt." + name + " allocates its result (and boxes every argument)"
+		}
+	case "strconv":
+		switch name {
+		case "Itoa", "FormatInt", "FormatUint", "FormatFloat", "Quote":
+			return "strconv." + name + " allocates its result string"
+		}
+	case "strings":
+		switch name {
+		case "Join", "Repeat", "Split", "Fields", "Replace", "ReplaceAll", "ToUpper", "ToLower":
+			return "strings." + name + " allocates its result"
+		}
+	}
+	return ""
+}
+
+// staticCallee resolves a call to its target *types.Func when the
+// target is statically known: package-level functions and methods
+// called through a concrete receiver. Interface dispatch and calls
+// through function values return nil — a documented soundness gap the
+// hot-path rule trades for zero false joins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if _, isInterface := sel.Recv().Underlying().(*types.Interface); isInterface {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isModulePath reports whether path names the module or a package
+// inside it.
+func isModulePath(modPath, path string) bool {
+	return path == modPath || strings.HasPrefix(path, modPath+"/")
+}
+
+// hotFuncs computes (once per Run) the set of functions that execute
+// per-iteration of a measured loop: for every entry in the
+// hotLoopEntries table, the callees invoked inside the entry's loops,
+// closed transitively over the call graph. The map value is the entry
+// the function was first reached from, for finding messages; the
+// traversal visits entries and callees in deterministic order so the
+// attribution is stable.
+func (m *ModuleFacts) hotFuncs() map[*types.Func]string {
+	if m.hot != nil {
+		return m.hot
+	}
+	m.hot = make(map[*types.Func]string)
+	type seed struct {
+		fn    *types.Func
+		entry string
+	}
+	var queue []seed
+	for _, fn := range m.order {
+		ff := m.funcs[fn]
+		if !isHotLoopEntry(ff.pkg.Path, fn.Name()) {
+			continue
+		}
+		entry := ff.pkg.Types.Name() + "." + fn.Name()
+		for _, cs := range ff.calls {
+			if cs.inLoop {
+				queue = append(queue, seed{fn: cs.callee, entry: entry})
+			}
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if _, seen := m.hot[s.fn]; seen {
+			continue
+		}
+		ff := m.funcs[s.fn]
+		if ff == nil {
+			continue // outside the analyzed set (or its dependency closure)
+		}
+		m.hot[s.fn] = s.entry
+		for _, cs := range ff.calls {
+			queue = append(queue, seed{fn: cs.callee, entry: s.entry})
+		}
+	}
+	return m.hot
+}
+
+// hotFuncList returns the hot set as deterministically-ordered facts
+// (summary order), for analyzers that iterate it.
+func (m *ModuleFacts) hotFuncList() []*funcFacts {
+	hot := m.hotFuncs()
+	var out []*funcFacts
+	for _, fn := range m.order {
+		if _, ok := hot[fn]; ok {
+			out = append(out, m.funcs[fn])
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].fn.Pos() < out[j].fn.Pos() })
+	return out
+}

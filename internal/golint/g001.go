@@ -253,6 +253,9 @@ func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
 
 // isStringType reports whether t's underlying type is string.
 func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsString != 0
 }

@@ -1,0 +1,72 @@
+package golint
+
+import "fmt"
+
+// G007 alloc-hot-path: no allocation inside a measured engine loop.
+//
+// The benchmarks time the inner loops pinned in hotLoopEntries; an
+// allocation that executes per iteration — directly inside an entry's
+// loop, or anywhere in a function those loops reach through the call
+// graph — is what makes allocs/op scale with pattern count and what the
+// per-worker-arena rewrite must never reintroduce. Tolerated shapes are
+// classified at summary time (callgraph.go): the x = append(x, …) reuse
+// idiom, cold error/panic paths, and the pinned hotAllocAllowlist of
+// functions whose allocations are the algorithm's amortized output.
+//
+// Soundness gap, by design: calls through interfaces and function
+// values are not resolved (staticCallee returns nil), so work hidden
+// behind dynamic dispatch is not traced. The engines keep their hot
+// loops monomorphic, which is itself part of the contract.
+
+func analyzerG007() *Analyzer {
+	return &Analyzer{
+		ID:   RuleAllocHotPath,
+		Name: "alloc-hot-path",
+		Doc:  "allocation reachable from a measured engine loop",
+		Run:  runG007,
+	}
+}
+
+func runG007(p *Pass) []Finding {
+	var out []Finding
+	m := p.Mod
+	if m == nil {
+		return nil
+	}
+	hot := m.hotFuncs()
+	for _, fn := range m.order {
+		ff := m.funcs[fn]
+		if ff.pkg != p.Pkg {
+			continue
+		}
+		isEntry := isHotLoopEntry(ff.pkg.Path, fn.Name())
+		via, isHot := hot[fn]
+		if !isEntry && !isHot {
+			continue
+		}
+		if hotAllocAllowed(ff.pkg.Path, fn.Name()) {
+			continue
+		}
+		for _, site := range ff.allocs {
+			if site.cold {
+				continue
+			}
+			var msg string
+			switch {
+			case isEntry && !site.inLoop:
+				// The entry's own setup phase runs once per call, not per
+				// iteration — only its loop bodies are measured.
+				continue
+			case isEntry:
+				msg = fmt.Sprintf("%s inside the measured loop of %s.%s",
+					site.what, ff.pkg.Types.Name(), fn.Name())
+			default:
+				msg = fmt.Sprintf("%s in %s, which runs per iteration of the measured loop of %s",
+					site.what, fn.Name(), via)
+			}
+			out = append(out, p.finding(RuleAllocHotPath, Warning, site.pos, msg,
+				"hoist into a buffer reused across iterations, or vet the function in hotAllocAllowlist with a justification"))
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// G010 worker-state-sharing: a goroutine closure must not write a
+// captured variable that anything else also writes, unless the write is
+// mutex-guarded or provably sharded.
+//
+// This is the static complement of the -race test list: -race only sees
+// interleavings the tests happen to execute, while this rule flags the
+// shape that makes them possible. A closure write to a captured
+// variable is a finding when any of these hold:
+//
+//   - the variable is also written outside the goroutine (its defining
+//     declaration excepted)
+//   - two distinct go statements write it
+//   - the spawn sits in a loop and the write is not a sharded
+//     element write out[w] = … whose index is closure-local (fsim's
+//     per-worker result slots)
+//
+// Writes inside a lock-held range of the closure (flow.go) are excused:
+// that is the sanctioned way to share when sharding does not fit.
+
+func analyzerG010() *Analyzer {
+	return &Analyzer{
+		ID:   RuleWorkerStateSharing,
+		Name: "worker-state-sharing",
+		Doc:  "unsynchronized goroutine write to a shared variable",
+		Run:  runG010,
+	}
+}
+
+// capturedWrite is one write site inside a go-closure to a variable
+// declared outside it.
+type capturedWrite struct {
+	obj  types.Object
+	node ast.Node // the AssignStmt or IncDecStmt
+	lhs  ast.Expr // the specific written operand rooted at obj
+}
+
+func runG010(p *Pass) []Finding {
+	var out []Finding
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, fd := range funcDecls(file) {
+			if fd.Body == nil {
+				continue
+			}
+			out = append(out, checkWorkerSharing(p, info, fd)...)
+		}
+	}
+	return out
+}
+
+func checkWorkerSharing(p *Pass, info *types.Info, fd *ast.FuncDecl) []Finding {
+	spawns := goClosures(fd)
+	if len(spawns) == 0 {
+		return nil
+	}
+
+	// Writers per object, outside any go-closure (defining declarations
+	// are definitions, not competing writes — writeRoots excludes them).
+	outsideWrites := make(map[types.Object]bool)
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && isGoClosure(lit, stack) {
+			return false
+		}
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.IncDecStmt:
+			for _, obj := range writeRoots(info, n) {
+				outsideWrites[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Writers per object, per spawn.
+	writersPerObj := make(map[types.Object]int)
+	writesPerSpawn := make([][]capturedWrite, len(spawns))
+	for i, sp := range spawns {
+		writesPerSpawn[i] = closureCapturedWrites(info, sp.lit)
+		counted := make(map[types.Object]bool)
+		for _, w := range writesPerSpawn[i] {
+			if !counted[w.obj] {
+				counted[w.obj] = true
+				writersPerObj[w.obj]++
+			}
+		}
+	}
+
+	var out []Finding
+	for i, sp := range spawns {
+		held := lockHeldRanges(info, sp.lit.Body)
+		for _, w := range writesPerSpawn[i] {
+			if inAnyRange(held, w.node.Pos()) {
+				continue // mutex-guarded: the sanctioned sharing shape
+			}
+			switch {
+			case outsideWrites[w.obj]:
+				out = append(out, p.finding(RuleWorkerStateSharing, Warning, w.node.Pos(),
+					fmt.Sprintf("goroutine writes %s, which is also written outside the goroutine", w.obj.Name()),
+					"give the worker its own slot or guard both writers with one mutex"))
+			case writersPerObj[w.obj] > 1:
+				out = append(out, p.finding(RuleWorkerStateSharing, Warning, w.node.Pos(),
+					fmt.Sprintf("%s is written by more than one goroutine", w.obj.Name()),
+					"shard by worker index or guard the writes with one mutex"))
+			case sp.inLoop && !isShardedWrite(info, sp.lit, w.lhs):
+				out = append(out, p.finding(RuleWorkerStateSharing, Warning, w.node.Pos(),
+					fmt.Sprintf("loop-spawned goroutine writes shared %s without sharding", w.obj.Name()),
+					"index the write by a closure-local worker id (out[w] = …) or guard it with a mutex"))
+			}
+		}
+	}
+	return out
+}
+
+// goSpawn is one go statement with a closure body.
+type goSpawn struct {
+	lit    *ast.FuncLit
+	inLoop bool
+}
+
+// goClosures collects the function's go-closure spawns with their loop
+// context.
+func goClosures(fd *ast.FuncDecl) []goSpawn {
+	var out []goSpawn
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			out = append(out, goSpawn{lit: lit, inLoop: inLoopAt(stack, g.Pos())})
+		}
+		return true
+	})
+	return out
+}
+
+// isGoClosure reports whether lit is the immediate operand of a go
+// statement (its parent call's parent is a GoStmt).
+func isGoClosure(lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || call.Fun != ast.Expr(lit) {
+		return false
+	}
+	_, ok = stack[len(stack)-2].(*ast.GoStmt)
+	return ok
+}
+
+// closureCapturedWrites returns the closure's writes to variables
+// declared outside it, in source order. Nested closures are included:
+// their writes still execute on the goroutine (or escape further, which
+// is no safer).
+func closureCapturedWrites(info *types.Info, lit *ast.FuncLit) []capturedWrite {
+	var out []capturedWrite
+	record := func(n ast.Node, e ast.Expr) {
+		id := rootIdent(e)
+		if id == nil {
+			return
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || !capturedBy(obj, lit) {
+			return
+		}
+		out = append(out, capturedWrite{obj: obj, node: n, lhs: e})
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(n, lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n, n.X)
+		}
+		return true
+	})
+	return out
+}
+
+// isShardedWrite reports whether the written operand is an element
+// write out[idx] whose index expression references at least one
+// closure-local variable and no variable from outside the closure — the
+// per-worker-slot shape that partitions the destination.
+func isShardedWrite(info *types.Info, lit *ast.FuncLit, lhs ast.Expr) bool {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	sawLocal := false
+	sound := true
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, isVar := info.Uses[id].(*types.Var)
+		if !isVar {
+			return true
+		}
+		if capturedBy(obj, lit) {
+			sound = false
+		} else {
+			sawLocal = true
+		}
+		return true
+	})
+	return sound && sawLocal
+}

@@ -26,6 +26,22 @@
 //	G006 doc-comment                 exported symbols in the API-bearing
 //	     packages missing a godoc comment whose first word is the
 //	     symbol name (see the docCommentPackages table in allowlist.go)
+//	G007 alloc-hot-path              allocation sites reachable (through
+//	     the intra-module call graph) from the measured loops of the
+//	     engine packages, modulo the pinned hotAllocAllowlist
+//	G008 goroutine-discipline        go statements that are never joined,
+//	     ignore an in-scope context, or capture loop variables instead
+//	     of taking them as arguments
+//	G009 lock-discipline             locks without a matching unlock,
+//	     channel operations or engine calls made while a mutex is held,
+//	     and copies of mutex-bearing values
+//	G010 worker-state-sharing        unsynchronized writes from goroutine
+//	     closures to variables shared with other writers — the static
+//	     complement of the -race test list
+//
+// G001–G006 judge one file at a time; G007–G010 additionally consult
+// Pass.Mod, the whole-module call graph built once per Run (see
+// callgraph.go).
 //
 // Findings mirror the internal/lint model — stable rule IDs, the same
 // Severity scale, a locus, and a fix hint — so cmd/lint and
@@ -35,6 +51,7 @@ package golint
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -74,6 +91,18 @@ const (
 	// RuleDocComment: exported symbol in an API-bearing package missing
 	// a godoc comment whose first word is the symbol name.
 	RuleDocComment = "G006"
+	// RuleAllocHotPath: allocation site reachable from a measured engine
+	// loop (see the hotLoopEntries table in allowlist.go).
+	RuleAllocHotPath = "G007"
+	// RuleGoroutineDiscipline: goroutine spawned without a join, ignoring
+	// an in-scope context, or capturing loop variables.
+	RuleGoroutineDiscipline = "G008"
+	// RuleLockDiscipline: unpaired lock, channel op or engine call under
+	// a held mutex, or copy of a mutex-bearing value.
+	RuleLockDiscipline = "G009"
+	// RuleWorkerStateSharing: unsynchronized goroutine-closure write to a
+	// variable shared with other writers.
+	RuleWorkerStateSharing = "G010"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -126,7 +155,37 @@ func Analyzers() []*Analyzer {
 		analyzerG004(),
 		analyzerG005(),
 		analyzerG006(),
+		analyzerG007(),
+		analyzerG008(),
+		analyzerG009(),
+		analyzerG010(),
 	}
+}
+
+// Select returns the analyzers whose IDs appear in ids (matched
+// case-insensitively). Unknown IDs are reported so callers can reject
+// typos instead of silently running nothing.
+func Select(all []*Analyzer, ids []string) ([]*Analyzer, error) {
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if want[a.ID] {
+			out = append(out, a)
+			delete(want, a.ID)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown rule(s): %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
 }
 
 // Report is the result of one Run: every finding from every analyzer
@@ -194,11 +253,15 @@ func (r *Report) ByRule(rule string) []Finding {
 
 // Run executes every analyzer over every package and returns the
 // ordered report. Packages are inspected in the order given; the final
-// finding order is position-sorted and independent of it.
+// finding order is position-sorted and independent of it. Module facts
+// (the call graph) are built once over the full package set, so the
+// whole-module rules see every requested package regardless of which
+// one the pass currently visits.
 func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) *Report {
 	r := &Report{Module: l.ModPath}
+	facts := newModuleFacts(l, pkgs)
 	for _, pkg := range pkgs {
-		pass := &Pass{Loader: l, Pkg: pkg}
+		pass := &Pass{Loader: l, Pkg: pkg, Mod: facts}
 		for _, a := range analyzers {
 			r.Findings = append(r.Findings, a.Run(pass)...)
 		}

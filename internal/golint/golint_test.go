@@ -63,6 +63,10 @@ func TestFixturesMatchGoldens(t *testing.T) {
 		{"g004", RuleImpureEngine, 3},
 		{"g005", RuleErrorHygiene, 2},
 		{"g006", RuleDocComment, 4},
+		{"g007", RuleAllocHotPath, 2},
+		{"g008", RuleGoroutineDiscipline, 3},
+		{"g009", RuleLockDiscipline, 4},
+		{"g010", RuleWorkerStateSharing, 2},
 	} {
 		t.Run(fixture.name, func(t *testing.T) {
 			rep := analyzeFixture(t, fixture.name)
@@ -128,9 +132,56 @@ func TestAnalyzerRegistry(t *testing.T) {
 			t.Errorf("analyzer %s incompletely declared", a.ID)
 		}
 	}
-	want := []string{"G001", "G002", "G003", "G004", "G005", "G006"}
+	want := []string{"G001", "G002", "G003", "G004", "G005", "G006", "G007", "G008", "G009", "G010"}
 	if !reflect.DeepEqual(ids, want) {
 		t.Errorf("registry IDs = %v, want %v", ids, want)
+	}
+}
+
+// TestSelect covers the -only rule-selection surface: exact IDs,
+// case-insensitivity, registry order, and typo rejection.
+func TestSelect(t *testing.T) {
+	all := Analyzers()
+	got, err := Select(all, []string{"g010", "G007"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, a := range got {
+		ids = append(ids, a.ID)
+	}
+	if want := []string{"G007", "G010"}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("Select = %v, want %v (registry order, case-insensitive)", ids, want)
+	}
+	if _, err := Select(all, []string{"g007", "g999"}); err == nil {
+		t.Error("Select accepted unknown rule g999")
+	}
+}
+
+// TestCombinedOrderGolden pins the deterministic finding order across
+// the four whole-module rules when their fixtures are analyzed in one
+// run: file, then line, then column, then rule — independent of load
+// order.
+func TestCombinedOrderGolden(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately load in non-sorted order; the report order must not
+	// care.
+	pkgs, err := l.Load(
+		fixtureDir(t, "g010"),
+		fixtureDir(t, "g008"),
+		fixtureDir(t, "g009"),
+		fixtureDir(t, "g007"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(l, pkgs, Analyzers())
+	want := goldenReport(t, "combined")
+	if !reflect.DeepEqual(rep.Findings, want) {
+		t.Errorf("combined findings diverge from golden\ngot:  %v\nwant: %v", rep.Findings, want)
 	}
 }
 
@@ -145,6 +196,10 @@ func TestCleanShapesStayClean(t *testing.T) {
 		"g004": {27, 30}, // Seeded
 		"g005": {21, 29}, // WrapWell, CleanupRecorded
 		"g006": {6, 7},   // Threshold (documented with the leading name)
+		"g007": {34, 44}, // warmup, Warm (hotAllocAllowlist entry)
+		"g008": {47, 62}, // Joined (wg-joined, ctx-observing, arg-passing)
+		"g009": {45, 50}, // Bump (lock/defer-unlock critical section)
+		"g010": {38, 68}, // Guarded, Sharded
 	}
 	for name, span := range cleanFuncs {
 		rep := analyzeFixture(t, name)

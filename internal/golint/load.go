@@ -3,6 +3,7 @@ package golint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -272,6 +273,16 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		// Honor build constraints (//go:build lines and GOOS/GOARCH file
+		// suffixes) the same way the go tool does, so a tag-guarded file
+		// never reaches the type checker under a configuration that
+		// excludes it.
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
+			if err != nil {
+				return nil, fmt.Errorf("golint: match %s: %w", filepath.Join(dir, name), err)
+			}
+			continue
+		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution|parser.ParseComments)
 		if err != nil {
 			return nil, err
@@ -323,6 +334,10 @@ type Pass struct {
 	Loader *Loader
 	// Pkg is the package under analysis.
 	Pkg *Package
+	// Mod is the whole-module call graph and per-function summary set,
+	// built once per Run over every requested package. The per-file
+	// rules ignore it; the concurrency and allocation rules query it.
+	Mod *ModuleFacts
 }
 
 // finding builds a Finding anchored at pos with the pass's package and

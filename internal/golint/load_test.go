@@ -55,17 +55,63 @@ func TestLoadWildcard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 6 {
+	if len(pkgs) != 10 {
 		var got []string
 		for _, p := range pkgs {
 			got = append(got, p.Path)
 		}
-		t.Errorf("loaded %d packages (%v), want 6", len(pkgs), got)
+		t.Errorf("loaded %d packages (%v), want 10", len(pkgs), got)
 	}
 	for i := 1; i < len(pkgs); i++ {
 		if pkgs[i-1].Path >= pkgs[i].Path {
 			t.Errorf("packages not in deterministic order: %s >= %s", pkgs[i-1].Path, pkgs[i].Path)
 		}
+	}
+}
+
+// TestLoadSkipsBuildConstrainedFiles proves the loader honors build
+// constraints: the g007 fixture carries an excluded.go behind a
+// never-satisfied build tag that redeclares Hot. If the loader parsed
+// it, type-checking the package would fail on the duplicate before any
+// finding count could even diverge.
+func TestLoadSkipsBuildConstrainedFiles(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("repro/testdata/codelint/g007")
+	if err != nil {
+		t.Fatalf("build-tag-excluded file reached the type checker: %v", err)
+	}
+	for _, f := range pkgs[0].Files {
+		name := l.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "excluded.go") {
+			t.Errorf("loader parsed build-tag-excluded file %s", name)
+		}
+	}
+}
+
+// TestLoadSkipsTestFiles proves _test.go files stay invisible: the g008
+// fixture ships a skipped_test.go whose spawn would add a G008 finding
+// beyond the golden's three if the loader ever picked test files up.
+func TestLoadSkipsTestFiles(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("repro/testdata/codelint/g008")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(pkgs[0].Files); n != 1 {
+		t.Errorf("g008 fixture loaded %d files, want 1 (dirty.go only)", n)
+	}
+	if pkgs[0].Types.Scope().Lookup("Leaky") != nil {
+		t.Error("loader type-checked the _test.go file's Leaky")
+	}
+	rep := Run(l, pkgs, Analyzers())
+	if n := len(rep.ByRule(RuleGoroutineDiscipline)); n != 3 {
+		t.Errorf("G008 findings = %d, want 3 (extra ones would come from the _test.go file)", n)
 	}
 }
 

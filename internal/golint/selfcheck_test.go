@@ -64,6 +64,118 @@ func TestAllowlistPinned(t *testing.T) {
 	}
 }
 
+// TestHotLoopEntriesPinned pins the G007 measured-loop entry table: the
+// innermost loop owners of the four engine packages plus the fixture.
+// Adding an entry widens what "hot" means and is a reviewed decision;
+// losing one silently blinds the rule to a whole engine.
+func TestHotLoopEntriesPinned(t *testing.T) {
+	want := map[string][]string{
+		"repro/internal/fsim":           {"RunContext"},
+		"repro/internal/atpg":           {"search"},
+		"repro/internal/tpi":            {"solve", "run"},
+		"repro/internal/implic":         {"sweep", "learn"},
+		"repro/testdata/codelint/g007":  {"Hot"},
+		"repro/internal/does-not-exist": nil,
+	}
+	total := 0
+	for pkg, funcs := range want {
+		total += len(funcs)
+		for _, fn := range funcs {
+			if !isHotLoopEntry(pkg, fn) {
+				t.Errorf("hotLoopEntries lost %s.%s", pkg, fn)
+			}
+		}
+	}
+	declared := 0
+	for _, e := range hotLoopEntries {
+		declared += len(e.funcs)
+	}
+	if declared != total {
+		t.Errorf("hotLoopEntries declares %d functions, want %d — update this pin together with the table", declared, total)
+	}
+	if isHotLoopEntry("repro/internal/fsim", "RunParallelContext") {
+		t.Error("the parallel driver is per-run setup, never a measured-loop entry")
+	}
+	if isHotLoopEntry("repro/internal/atpg", "GenerateTestsContext") {
+		t.Error("the ATPG planner is per-fault setup, never a measured-loop entry")
+	}
+}
+
+// TestHotAllocAllowlistPinned pins the G007 alloc allowlist and its
+// justifications: every entry must carry a why, and the only vetted
+// engine entries are tpi's DP-output builders.
+func TestHotAllocAllowlistPinned(t *testing.T) {
+	want := map[string]bool{
+		"internal/tpi.computeNode":    true,
+		"internal/tpi.exportsOf":      true,
+		"testdata/codelint/g007.Warm": true,
+	}
+	if len(hotAllocAllowlist) != len(want) {
+		t.Errorf("hotAllocAllowlist has %d entries, want %d — update this pin together with the table", len(hotAllocAllowlist), len(want))
+	}
+	for _, e := range hotAllocAllowlist {
+		if !want[e.pkg+"."+e.fn] {
+			t.Errorf("unexpected allowlist entry %s.%s", e.pkg, e.fn)
+		}
+		if e.why == "" {
+			t.Errorf("allowlist entry %s.%s carries no justification", e.pkg, e.fn)
+		}
+	}
+	if hotAllocAllowed("repro/internal/atpg", "imply") {
+		t.Error("imply was the G007 bring-up fix; it must never be allowlisted back")
+	}
+}
+
+// TestHotAllocAllowlistLoadBearing runs G007 on tpi with the fixture's
+// machinery intact and asserts the allowlisted functions still contain
+// the allocation sites the entries vet — a stale entry fails here.
+func TestHotAllocAllowlistLoadBearing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks tpi")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("repro/internal/tpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(l, pkgs, Analyzers())
+	if n := len(rep.ByRule(RuleAllocHotPath)); n != 0 {
+		t.Errorf("tpi: %d G007 findings despite allowlist:\n%v", n, rep.ByRule(RuleAllocHotPath))
+	}
+	// Bypass the allowlist: the vetted sites must still exist in the hot
+	// set, proving the entries cover live code.
+	m := newModuleFacts(l, pkgs)
+	covered := 0
+	for _, ff := range m.hotFuncList() {
+		if hotAllocAllowed(ff.pkg.Path, ff.fn.Name()) && len(ff.allocs) > 0 {
+			covered++
+		}
+	}
+	if covered < 2 {
+		t.Errorf("only %d allowlisted tpi functions still hold allocation sites; prune the stale entries", covered)
+	}
+}
+
+// TestEngineCallPackagesPinned pins the G009 engine-call set to the
+// four engine packages.
+func TestEngineCallPackagesPinned(t *testing.T) {
+	want := []string{"internal/fsim", "internal/atpg", "internal/tpi", "internal/implic"}
+	if len(engineCallPackages) != len(want) {
+		t.Errorf("engineCallPackages has %d entries, want %d", len(engineCallPackages), len(want))
+	}
+	for _, p := range want {
+		if !isEngineCallPackage("repro/" + p) {
+			t.Errorf("engineCallPackages lost %s", p)
+		}
+	}
+	if isEngineCallPackage("repro/internal/serve") {
+		t.Error("serve is a caller of engines, not an engine")
+	}
+}
+
 // TestAllowlistLoadBearing asserts the serve/exp allowlist entries
 // still cover real call sites: running G004 with the allowlist
 // bypassed must flag time.Now there. This keeps the table honest — a

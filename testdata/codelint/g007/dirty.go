@@ -1,0 +1,44 @@
+// Package g007 is a codelint fixture: allocation inside a measured hot
+// loop (rule G007). Hot is pinned as a measured-loop entry in
+// hotLoopEntries; Warm is pinned in hotAllocAllowlist, so its
+// allocation stays quiet while step's fires.
+package g007
+
+// Hot is the fixture's measured-loop entry: only sites inside its loop
+// (and in what the loop calls) are hot.
+func Hot(vals []int) int {
+	acc := make([]int, 0, len(vals)) // clean: setup phase, before the loop
+	total := 0
+	for _, v := range vals {
+		buf := make([]int, 4) // finding: allocation per iteration
+		buf[0] = v
+		total += step(buf)
+		total += warmup(v)
+		acc = append(acc, v) // clean: self-append reuse idiom
+	}
+	return total + len(acc)
+}
+
+// step runs per iteration of Hot's loop, so its whole body is hot.
+func step(buf []int) int {
+	if len(buf) == 0 {
+		cold := make([]int, 1) // clean: allocation on a cold panic path
+		panic(cold[0])
+	}
+	tmp := []int{buf[0], 1} // finding: slice literal reached from the loop
+	return tmp[0] + tmp[1]
+}
+
+// warmup is reached from the loop too, but delegates to the vetted
+// Warm.
+func warmup(v int) int {
+	return Warm(v)
+}
+
+// Warm allocates on the hot path but is pinned in hotAllocAllowlist:
+// clean, and the golden proves the allowlist is load-bearing.
+func Warm(v int) int {
+	table := make([]int, 8)
+	table[0] = v
+	return table[0]
+}

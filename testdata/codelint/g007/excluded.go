@@ -1,0 +1,13 @@
+//go:build golint_fixture_excluded
+
+// This file is excluded by its build tag. If the loader ever stops
+// honoring build constraints it will be parsed, and the duplicate Hot
+// below turns into a type-check error the loader tests catch.
+package g007
+
+// Hot would collide with the real entry if this file were loaded.
+func Hot(vals []int) int {
+	out := make([]int, len(vals))
+	copy(out, vals)
+	return len(out)
+}

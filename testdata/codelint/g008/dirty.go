@@ -1,0 +1,62 @@
+// Package g008 is a codelint fixture: goroutine discipline (rule G008).
+// Joined shows the sanctioned worker shape — joined, cancellable, loop
+// variable passed as an argument — and must stay clean.
+package g008
+
+import (
+	"context"
+	"sync"
+)
+
+// Fire spawns a goroutine nothing ever joins: finding.
+func Fire(sink chan<- int, n int) {
+	go func() { // finding: never joined
+		sink <- n * 2
+	}()
+}
+
+// Ignore spawns a worker that never observes the context in scope:
+// finding.
+func Ignore(ctx context.Context, ch chan int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	go func() { // finding: ctx in scope but unobserved
+		ch <- 1
+	}()
+	return <-ch
+}
+
+// Capture lets its workers capture the loop variable instead of taking
+// it as an argument: finding.
+func Capture(ctx context.Context, vals []int, sink chan<- int) {
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func() { // finding: captures loop variable v
+			defer wg.Done()
+			if ctx.Err() == nil {
+				sink <- v
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Joined is the sanctioned worker shape: clean.
+func Joined(ctx context.Context, vals []int) []int {
+	out := make([]int, len(vals))
+	var wg sync.WaitGroup
+	for i := range vals {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			out[w] = vals[w] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

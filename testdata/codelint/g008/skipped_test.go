@@ -1,0 +1,11 @@
+// This _test.go file must be invisible to the golint loader. If it ever
+// gets loaded, Leaky's unjoined spawn adds a G008 finding the golden
+// does not carry, and the loader tests fail.
+package g008
+
+// Leaky spawns a goroutine nothing joins.
+func Leaky(sink chan<- int) {
+	go func() {
+		sink <- 1
+	}()
+}

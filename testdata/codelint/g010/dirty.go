@@ -1,0 +1,68 @@
+// Package g010 is a codelint fixture: worker-state sharing (rule G010).
+// Guarded and Sharded show the two sanctioned ways workers may write —
+// behind one mutex, or into per-worker slots — and must stay clean.
+package g010
+
+import "sync"
+
+// Sum races loop-spawned workers over one accumulator: finding.
+func Sum(vals []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for _, v := range vals {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			total += x // finding: unsharded write from a loop-spawned worker
+		}(v)
+	}
+	wg.Wait()
+	return total
+}
+
+// Flag lets the worker and its spawner race on done: finding.
+func Flag(work func()) bool {
+	done := false
+	finished := make(chan struct{})
+	go func() {
+		work()
+		done = true // finding: done is also written outside the goroutine
+		close(finished)
+	}()
+	done = false
+	<-finished
+	return done
+}
+
+// Guarded serializes worker writes behind a mutex: clean.
+func Guarded(vals []int) int {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0
+	for _, v := range vals {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			mu.Lock()
+			total += x
+			mu.Unlock()
+		}(v)
+	}
+	wg.Wait()
+	return total
+}
+
+// Sharded gives each worker its own result slot: clean.
+func Sharded(vals []int) []int {
+	out := make([]int, len(vals))
+	var wg sync.WaitGroup
+	for i := range vals {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = vals[w] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
