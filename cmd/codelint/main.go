@@ -7,7 +7,10 @@
 // exported symbols in API-bearing packages missing leading-name godoc
 // comments (G006), allocations reachable from the measured engine
 // loops (G007), goroutine discipline (G008), lock discipline (G009),
-// and unsynchronized worker-state sharing (G010).
+// unsynchronized worker-state sharing (G010), engine option fields
+// missing from the serve cache key (G011), unbounded handler-reachable
+// loops that never poll their context (G012), and engine reads of
+// mutable state outside the cache key (G013).
 //
 // Inputs are positional package patterns — directory paths, module
 // import paths, or "/..." wildcards — defaulting to ./... from the
@@ -20,6 +23,7 @@
 //
 //	codelint ./...
 //	codelint -json ./internal/serve
+//	codelint -sarif ./... > codelint.sarif
 //	codelint -severity info -fail error ./cmd/...
 //	codelint -only g007,g010 ./internal/fsim
 package main
@@ -39,6 +43,7 @@ import (
 func main() {
 	var (
 		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		sarifOut = flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (mutually exclusive with -json)")
 		sevName  = flag.String("severity", "info", "minimum severity to report: info | warning | error")
 		failName = flag.String("fail", "warning", "minimum severity that fails the run: info | warning | error")
 		only     = flag.String("only", "", "comma-separated rule IDs to run (e.g. g007,g010); default all")
@@ -49,6 +54,7 @@ func main() {
 		dir:      *dir,
 		patterns: flag.Args(),
 		jsonOut:  *jsonOut,
+		sarifOut: *sarifOut,
 		sevName:  *sevName,
 		failName: *failName,
 		only:     *only,
@@ -67,6 +73,7 @@ type config struct {
 	dir      string
 	patterns []string
 	jsonOut  bool
+	sarifOut bool
 	sevName  string
 	failName string
 	only     string
@@ -85,6 +92,9 @@ type jsonReport struct {
 // run analyzes the requested packages and reports whether any finding
 // reached the failure severity.
 func run(w io.Writer, cfg config) (bool, error) {
+	if cfg.jsonOut && cfg.sarifOut {
+		return false, fmt.Errorf("-json and -sarif are mutually exclusive")
+	}
 	minSev, err := golint.ParseSeverity(cfg.sevName)
 	if err != nil {
 		return false, err
@@ -115,6 +125,12 @@ func run(w io.Writer, cfg config) (bool, error) {
 		failed = true
 	}
 	counts := rep.CountBySeverity()
+	if cfg.sarifOut {
+		if err := golint.WriteSARIF(w, rep, analyzers, minSev); err != nil {
+			return false, err
+		}
+		return failed, nil
+	}
 	if cfg.jsonOut {
 		findings := rep.Filter(minSev)
 		if findings == nil {

@@ -22,7 +22,7 @@ func fixture(t *testing.T, name string) string {
 // output must be order-deterministic and byte-stable, the same
 // contract the serve cache enforces on engine responses.
 func TestGoldenJSON(t *testing.T) {
-	for _, rule := range []string{"g001", "g002", "g003", "g004", "g005", "g006", "g007", "g008", "g009", "g010"} {
+	for _, rule := range []string{"g001", "g002", "g003", "g004", "g005", "g006", "g007", "g008", "g009", "g010", "g011", "g012", "g013"} {
 		t.Run(rule, func(t *testing.T) {
 			want, err := os.ReadFile(fixture(t, rule+".golden.json"))
 			if err != nil {
@@ -46,6 +46,33 @@ func TestGoldenJSON(t *testing.T) {
 				t.Errorf("JSON diverges from golden\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
 			}
 		})
+	}
+}
+
+// TestGoldenSARIF pins the exact -sarif bytes for one fixture: the
+// SARIF log carries the full rule table plus one result per finding,
+// and must stay as byte-stable as the JSON mode.
+func TestGoldenSARIF(t *testing.T) {
+	want, err := os.ReadFile(fixture(t, "g011.golden.sarif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	failed, err := run(&out, config{
+		dir:      ".",
+		patterns: []string{fixture(t, "g011")},
+		sarifOut: true,
+		sevName:  "info",
+		failName: "warning",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("g011 fixture did not fail at warning severity")
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("SARIF diverges from golden\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
 	}
 }
 
@@ -146,8 +173,9 @@ func TestUsageErrors(t *testing.T) {
 		{dir: ".", sevName: "loud", failName: "error"},
 		{dir: ".", sevName: "info", failName: "silent"},
 		{dir: ".", sevName: "info", failName: "error", patterns: []string{"/nonexistent/pkg"}},
-		{dir: ".", sevName: "info", failName: "error", only: "g999"}, // unknown rule
-		{dir: "/", sevName: "info", failName: "error"},               // no enclosing module
+		{dir: ".", sevName: "info", failName: "error", only: "g999"},                  // unknown rule
+		{dir: "/", sevName: "info", failName: "error"},                                // no enclosing module
+		{dir: ".", sevName: "info", failName: "error", jsonOut: true, sarifOut: true}, // exclusive output modes
 	} {
 		var out bytes.Buffer
 		_, err := run(&out, cfg)

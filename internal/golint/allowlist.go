@@ -164,6 +164,172 @@ func isEngineCallPackage(path string) bool {
 	return pathMatchesAny(path, engineCallPackages)
 }
 
+// engineOptionStructs pins the option structs whose fields G011 audits
+// against the cache-key canonicalization: every struct the serve run
+// closures hand to an engine. internal/lint.Options is deliberately
+// absent — /v1/lint runs it at defaults and its report is advisory;
+// adding it is a one-line policy change here when lint options get a
+// request surface. The testdata entry keeps the rule's golden fixture
+// honest.
+var engineOptionStructs = []struct {
+	pkg, typ string
+}{
+	{"internal/fsim", "Options"},
+	{"internal/atpg", "Options"},
+	{"internal/implic", "Options"},
+	{"internal/tpi", "CPOptions"},
+	{"internal/tpi", "OPOptions"},
+	{"testdata/codelint/g011", "EngineOpts"},
+}
+
+// isEngineOptionStruct reports whether the named struct is pinned for
+// G011 feed tracking.
+func isEngineOptionStruct(pkgPath, typ string) bool {
+	for _, e := range engineOptionStructs {
+		if e.typ == typ && pathMatchesAny(pkgPath, []string{e.pkg}) {
+			return true
+		}
+	}
+	return false
+}
+
+// cacheKeyFieldAllowlist vets engine option fields that are read on the
+// serve path but deliberately pinned at their zero-value defaults —
+// constant inputs cannot split or poison the cache. The allowlist only
+// holds while no feed exists: feeding a listed field from unkeyed data
+// re-raises the error (see g011.go).
+var cacheKeyFieldAllowlist = []struct {
+	pkg, typ, field, why string
+}{
+	{"internal/tpi", "CPOptions", "COP",
+		"serve pins COP tuning to its zero-value defaults; a constant cannot split the cache"},
+	{"internal/tpi", "OPOptions", "COP",
+		"serve pins COP tuning to its zero-value defaults; a constant cannot split the cache"},
+	{"internal/implic", "Options", "LearnRounds",
+		"serve pins the contrapositive-learning depth to the engine default; constant input"},
+	{"testdata/codelint/g011", "EngineOpts", "Tuning",
+		"fixture: vetted zero-value default pin"},
+}
+
+// cacheKeyFieldAllowed reports whether the field's zero-default pin is
+// vetted for G011.
+func cacheKeyFieldAllowed(pkgPath, typ, field string) bool {
+	for _, e := range cacheKeyFieldAllowlist {
+		if e.typ == typ && e.field == field && pathMatchesAny(pkgPath, []string{e.pkg}) {
+			return true
+		}
+	}
+	return false
+}
+
+// keyExemptFields vets serve option fields excluded from the cache key
+// on purpose, matched by json tag name across every canonicalized
+// struct. Keep this list about *transport* concerns only — anything
+// that can change an engine result must be keyed.
+var keyExemptFields = []struct {
+	tag, why string
+}{
+	{"timeout_ms",
+		"deadlines shape latency and the 504 contract, never the engine result; stripped before hashing so an impatient client still hits the patient client's cache entry"},
+}
+
+// keyExemptField reports whether a serve option field is a vetted
+// key exclusion.
+func keyExemptField(tag, name string) bool {
+	match := tag
+	if match == "" {
+		match = name
+	}
+	for _, e := range keyExemptFields {
+		if e.tag == match {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxLoopExemptPackages vets whole packages out of G012: request-
+// materialization and analysis primitives whose loops are bounded by
+// the circuit or pattern block they walk, completing between the polls
+// of the engine loops above them. Every entry says why the latency is
+// bounded without a poll.
+var ctxLoopExemptPackages = []struct {
+	pkg, why string
+}{
+	{"internal/netlist",
+		"parse/validate/insert worklists are bounded by gate count and run once per request, before any engine loop"},
+	{"internal/bench",
+		"bench parsing and writing walk the netlist once; bounded by input size"},
+	{"internal/gen",
+		"circuit generators emit a fixed structure per spec; bounded by the requested size"},
+	{"internal/logic",
+		"truth-table evaluation is bounded by fanin width"},
+	{"internal/fault",
+		"fault collapsing walks the gate list a constant number of times"},
+	{"internal/pattern",
+		"pattern sources emit one vector per call; no loop outlives a block"},
+	{"internal/testability",
+		"COP fixpoints are bounded by topological depth; called per candidate between planner polls"},
+	{"internal/lint",
+		"lint rules run single-pass worklists bounded by gate count; the implication-based rules reach cancellation through implic.NewContext"},
+}
+
+// ctxLoopPackageExempt reports whether the package is vetted out of
+// G012.
+func ctxLoopPackageExempt(path string) bool {
+	for _, e := range ctxLoopExemptPackages {
+		if pathMatchesAny(path, []string{e.pkg}) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxLoopAllowlist vets individual functions whose unbounded loops are
+// tolerated without a poll, with a written reason each.
+var ctxLoopAllowlist = []struct {
+	pkg, fn, why string
+}{
+	{"internal/tpi", "reconstruct",
+		"replays the finished DP decision chain once after solve returns; bounded by node count, and solve itself polls per node"},
+	{"internal/atpg", "backtrace",
+		"walks a single objective-to-input path, bounded by circuit depth; the enclosing search loop polls once per decision"},
+	{"testdata/codelint/g012", "Vetted",
+		"fixture: proves the allowlist silences a listed function while its neighbors still fire"},
+}
+
+// ctxLoopAllowed reports whether the function's loops are vetted for
+// G012.
+func ctxLoopAllowed(pkgPath, fn string) bool {
+	for _, e := range ctxLoopAllowlist {
+		if e.fn == fn && pathMatchesAny(pkgPath, []string{e.pkg}) {
+			return true
+		}
+	}
+	return false
+}
+
+// mutableStateAllowlist vets reads of mutable package state on the
+// cache-keyed path (G013). Entries must never feed a response body —
+// synchronization primitives and metrics only.
+var mutableStateAllowlist = []struct {
+	pkg, name, why string
+}{
+	{"testdata/codelint/g013", "scratch",
+		"fixture: vetted reusable scratch buffer whose content never reaches a response"},
+}
+
+// mutableStateAllowed reports whether the package-level variable is
+// vetted for G013.
+func mutableStateAllowed(pkgPath, name string) bool {
+	for _, e := range mutableStateAllowlist {
+		if e.name == name && pathMatchesAny(pkgPath, []string{e.pkg}) {
+			return true
+		}
+	}
+	return false
+}
+
 // allowedImpurity reports whether the qualified symbol (e.g.
 // "time.Now") is allowlisted for the package.
 func allowedImpurity(pkgPath, symbol string) bool {

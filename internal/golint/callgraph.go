@@ -42,6 +42,50 @@ type callSite struct {
 	inLoop bool
 }
 
+// fieldUse is one read of a named struct's field.
+type fieldUse struct {
+	owner *types.TypeName
+	field string
+	pos   token.Pos
+}
+
+// feedSite is one write into a named struct's field: a composite-literal
+// element, an assignment through a selector, or a compound
+// assignment/inc-dec (value == nil when the written expression is not a
+// single syntactic operand).
+type feedSite struct {
+	owner *types.TypeName
+	field string
+	pos   token.Pos
+	value ast.Expr
+}
+
+// varUse is one occurrence (read or write position) of a module
+// package-level variable.
+type varUse struct {
+	obj *types.Var
+	pos token.Pos
+}
+
+// envCall is one ambient-environment read (os.Getenv and friends).
+type envCall struct {
+	name string
+	pos  token.Pos
+}
+
+// loopSite is one statically-unbounded for statement: `for {}`, a
+// cond-only `for x {}`, or a 3-clause loop with no condition. Range
+// loops and loops with a post statement are considered bounded by the
+// values they walk.
+type loopSite struct {
+	pos  token.Pos
+	body *ast.BlockStmt
+	// nested reports whether the loop body contains another loop
+	// (outside nested function literals) — the "does real work per
+	// iteration" half of the G012 compound test.
+	nested bool
+}
+
 // funcFacts is the per-function summary node of the call graph.
 type funcFacts struct {
 	fn   *types.Func
@@ -50,6 +94,38 @@ type funcFacts struct {
 
 	allocs []allocSite
 	calls  []callSite
+	// refs are function-value references (a module function mentioned
+	// outside call position: handler registration, method values,
+	// callbacks). They are reachability-only edges — G007's hot set
+	// deliberately ignores them because a reference is not an execution.
+	refs []callSite
+
+	// wires are module functions referenced by a call that carries a
+	// "/v1/..." string literal argument — the serve-handler wiring
+	// pattern. The dataflow analyzers treat them as roots (see taint.go).
+	wires []callSite
+
+	// fieldReads / fieldFeeds record named-struct field dataflow for the
+	// cache-key rule (G011).
+	fieldReads []fieldUse
+	fieldFeeds []feedSite
+
+	// globalUses / globalWrites / envCalls record ambient-state contact
+	// for the purity rule (G013). globalWrites lists module package-level
+	// variables this function assigns, increments, or takes the address
+	// of.
+	globalUses   []varUse
+	globalWrites []*types.Var
+	envCalls     []envCall
+
+	// polls are direct context-poll sites: ctx.Err() calls and receives
+	// from struct{}-element channels (the ctx.Done()/done-channel
+	// convention every engine uses).
+	polls []token.Pos
+	// loops are the statically-unbounded loops; hasLoop is true when the
+	// body contains any loop at all (used for the compound test).
+	loops   []loopSite
+	hasLoop bool
 
 	// spawnsGoroutines / takesLocks / writesCaptured are the coarse
 	// flags the concurrency rules and future analyzers key on.
@@ -70,7 +146,8 @@ type ModuleFacts struct {
 	// file, position) so every traversal of the graph is replayable.
 	order []*types.Func
 
-	hot map[*types.Func]string // lazily-built hot set, see hotFuncs
+	hot   map[*types.Func]string // lazily-built hot set, see hotFuncs
+	serve *serveGraph            // lazily-built serve dataflow, see taint.go
 }
 
 // newModuleFacts summarizes every function declaration of the given
@@ -117,6 +194,18 @@ func summarize(l *Loader, pkg *Package, fd *ast.FuncDecl, ff *funcFacts) {
 			if innermostFuncLit(stack) != nil && writesEnclosingVar(info, n, stack) {
 				ff.writesCaptured = true
 			}
+			summarizeGlobalWrites(l, info, n, ff)
+		case *ast.ForStmt:
+			ff.hasLoop = true
+			if n.Cond == nil || n.Post == nil {
+				ff.loops = append(ff.loops, loopSite{pos: n.Pos(), body: n.Body, nested: containsLoop(n.Body)})
+			}
+		case *ast.RangeStmt:
+			ff.hasLoop = true
+		case *ast.Ident:
+			summarizeIdent(l, info, n, stack, ff)
+		case *ast.SelectorExpr:
+			summarizeFieldAccess(info, n, stack, ff)
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
 				ff.allocs = append(ff.allocs, newAllocSite(info, n.OpPos,
@@ -128,11 +217,20 @@ func summarize(l *Loader, pkg *Package, fd *ast.FuncDecl, ff *funcFacts) {
 					ff.allocs = append(ff.allocs, newAllocSite(info, n.Pos(),
 						fmt.Sprintf("&%s{…} composite literal escapes to the heap", exprText(compositeTypeExpr(n.X.(*ast.CompositeLit)))), fd, stack))
 				}
+				if id := rootIdent(n.X); id != nil {
+					if v := packageLevelVar(l, info, id); v != nil {
+						ff.globalWrites = append(ff.globalWrites, v)
+					}
+				}
+			}
+			if n.Op == token.ARROW && isSignalChan(info.TypeOf(n.X)) {
+				ff.polls = append(ff.polls, n.Pos())
 			}
 		case *ast.CompositeLit:
 			if site, ok := compositeAlloc(info, n, stack); ok {
 				ff.allocs = append(ff.allocs, newAllocSite(info, n.Pos(), site, fd, stack))
 			}
+			summarizeLitFeeds(info, n, ff)
 		case *ast.CallExpr:
 			summarizeCall(l, pkg, fd, ff, n, stack)
 		}
@@ -183,16 +281,257 @@ func summarizeCall(l *Loader, pkg *Package, fd *ast.FuncDecl, ff *funcFacts, cal
 			ff.allocs = append(ff.allocs, newAllocSite(info, call.Pos(), reason, fd, stack))
 		}
 	}
+	if path, name := pkgQualified(info, call.Fun); path == "os" {
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			ff.envCalls = append(ff.envCalls, envCall{name: "os." + name, pos: call.Pos()})
+		}
+	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") && isMutexType(info.TypeOf(sel.X)) {
 			ff.takesLocks = true
 		}
+		if sel.Sel.Name == "Err" && isContextType(info.TypeOf(sel.X)) {
+			ff.polls = append(ff.polls, call.Pos())
+		}
 	}
 	// Statically-resolved module-internal callee.
-	if callee := staticCallee(info, call); callee != nil &&
-		callee.Pkg() != nil && isModulePath(l.ModPath, callee.Pkg().Path()) {
+	callee := staticCallee(info, call)
+	if callee != nil && callee.Pkg() != nil && isModulePath(l.ModPath, callee.Pkg().Path()) {
 		ff.calls = append(ff.calls, callSite{callee: callee, pos: call.Pos(), inLoop: inLoopAt(stack, call.Pos())})
 	}
+	// Serve-handler wiring: a call carrying a "/v1/..." string literal
+	// marks its module-internal callee and every module function passed
+	// as an argument as handler roots for the dataflow rules.
+	if hasServeLiteral(call) {
+		if callee != nil && callee.Pkg() != nil && isModulePath(l.ModPath, callee.Pkg().Path()) {
+			ff.wires = append(ff.wires, callSite{callee: callee, pos: call.Pos()})
+		}
+		for _, a := range call.Args {
+			if fn := funcValueOf(info, a); fn != nil &&
+				fn.Pkg() != nil && isModulePath(l.ModPath, fn.Pkg().Path()) {
+				ff.wires = append(ff.wires, callSite{callee: fn, pos: a.Pos()})
+			}
+		}
+	}
+}
+
+// summarizeGlobalWrites records module package-level variables assigned
+// or incremented by the statement.
+func summarizeGlobalWrites(l *Loader, info *types.Info, n ast.Node, ff *funcFacts) {
+	record := func(e ast.Expr) {
+		if id := rootIdent(e); id != nil {
+			if v := packageLevelVar(l, info, id); v != nil {
+				ff.globalWrites = append(ff.globalWrites, v)
+			}
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			record(lhs)
+		}
+	case *ast.IncDecStmt:
+		record(n.X)
+	}
+}
+
+// summarizeIdent records function-value references (reachability edges)
+// and package-level variable occurrences.
+func summarizeIdent(l *Loader, info *types.Info, id *ast.Ident, stack []ast.Node, ff *funcFacts) {
+	switch obj := info.Uses[id].(type) {
+	case *types.Func:
+		if obj.Pkg() != nil && isModulePath(l.ModPath, obj.Pkg().Path()) && !isCallFun(stack, id) {
+			ff.refs = append(ff.refs, callSite{callee: obj, pos: id.Pos()})
+		}
+	case *types.Var:
+		if v := packageLevelVar(l, info, id); v != nil {
+			ff.globalUses = append(ff.globalUses, varUse{obj: v, pos: id.Pos()})
+		}
+	}
+}
+
+// summarizeFieldAccess classifies a struct-field selector as a read or a
+// feed (write). A compound assignment or ++/-- both reads and feeds.
+func summarizeFieldAccess(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node, ff *funcFacts) {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	owner := namedStructOf(selection.Recv())
+	if owner == nil {
+		return
+	}
+	isWrite, value := selectorWrite(stack, sel)
+	if isWrite {
+		ff.fieldFeeds = append(ff.fieldFeeds, feedSite{owner: owner, field: sel.Sel.Name, pos: sel.Pos(), value: value})
+		if value != nil {
+			return
+		}
+		// A compound assignment (x.F += e, x.F++) reads the old value.
+	}
+	ff.fieldReads = append(ff.fieldReads, fieldUse{owner: owner, field: sel.Sel.Name, pos: sel.Pos()})
+}
+
+// summarizeLitFeeds records composite-literal struct-field feeds,
+// including positional literals.
+func summarizeLitFeeds(info *types.Info, lit *ast.CompositeLit, ff *funcFacts) {
+	owner := namedStructOf(info.TypeOf(lit))
+	if owner == nil {
+		return
+	}
+	st, ok := owner.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				ff.fieldFeeds = append(ff.fieldFeeds, feedSite{owner: owner, field: key.Name, pos: kv.Pos(), value: kv.Value})
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			ff.fieldFeeds = append(ff.fieldFeeds, feedSite{owner: owner, field: st.Field(i).Name(), pos: elt.Pos(), value: elt})
+		}
+	}
+}
+
+// selectorWrite reports whether the selector is a write target, and the
+// written expression when it is a single syntactic operand.
+func selectorWrite(stack []ast.Node, sel *ast.SelectorExpr) (bool, ast.Expr) {
+	if len(stack) == 0 {
+		return false, nil
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range parent.Lhs {
+			if lhs != ast.Expr(sel) {
+				continue
+			}
+			if parent.Tok == token.ASSIGN && len(parent.Lhs) == len(parent.Rhs) {
+				return true, parent.Rhs[i]
+			}
+			return true, nil
+		}
+	case *ast.IncDecStmt:
+		if parent.X == ast.Expr(sel) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// containsLoop reports whether the block contains a for/range statement
+// outside nested function literals (a closure defined in a loop body
+// does not execute per iteration).
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSignalChan reports whether t is a channel of empty structs — the
+// ctx.Done()/done-channel signalling convention. Receiving from one is
+// counted as a context poll.
+func isSignalChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// packageLevelVar resolves id to a module package-level variable, or nil.
+func packageLevelVar(l *Loader, info *types.Info, id *ast.Ident) *types.Var {
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.IsField() {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isModulePath(l.ModPath, v.Pkg().Path()) {
+		return nil
+	}
+	return v
+}
+
+// namedStructOf unwraps pointers and aliases down to a named type whose
+// underlying type is a struct, returning its TypeName (nil otherwise).
+func namedStructOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// isCallFun reports whether id is the function operand of a direct call
+// (either the callee ident itself or the Sel of a selector callee) —
+// those become call edges, not reference edges.
+func isCallFun(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	var n ast.Node = id
+	parent := stack[len(stack)-1]
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.Sel == id {
+		if len(stack) < 2 {
+			return false
+		}
+		n = parent
+		parent = stack[len(stack)-2]
+	}
+	call, ok := parent.(*ast.CallExpr)
+	return ok && call.Fun == n
+}
+
+// funcValueOf resolves an expression used as a value (not called) to the
+// module function it references: a plain identifier or a method value.
+func funcValueOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// hasServeLiteral reports whether any argument is a string literal
+// starting with "/v1/" — the serve endpoint wiring convention.
+func hasServeLiteral(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if lit, ok := a.(*ast.BasicLit); ok && lit.Kind == token.STRING &&
+			strings.HasPrefix(lit.Value, `"/v1/`) {
+			return true
+		}
+	}
+	return false
 }
 
 // newAllocSite records an allocation with its loop and cold-path

@@ -1,0 +1,155 @@
+package golint
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// analyzerG011 enforces cache-key soundness. The serve layer caches
+// engine responses under a SHA-256 of the canonical netlist plus the
+// json-marshalled, defaulted option struct — so the cache is only
+// correct if every input that can change an engine's output is part of
+// that marshalling. This rule discharges the invariant statically, in
+// both directions:
+//
+//   - every exported field of a pinned engine option struct
+//     (engineOptionStructs) that engine code reachable from a /v1/*
+//     handler actually reads must be fed from cache-keyed data (the
+//     forward taint from keyed serve fields, see taint.go) — a field
+//     read but fed from nothing, or from unkeyed data, silently serves
+//     wrong cached answers and is an error;
+//   - a field fed from keyed data but never read, or a keyed serve
+//     field hashed but never read, splits the cache for nothing and is
+//     an info;
+//   - a serve option field excluded from the key (json:"-", unexported,
+//     or zeroed before hashing) that is still read on the serve path is
+//     an error unless the keyExemptFields table vets it (timeout_ms:
+//     deadlines shape latency, never results).
+//
+// Fields that are read but never fed may instead be pinned in
+// cacheKeyFieldAllowlist when the serve path deliberately runs them at
+// their zero-value defaults — constants cannot split the cache. The
+// allowlist only applies while no feed exists: the moment someone feeds
+// the field from unkeyed data, the error returns.
+func analyzerG011() *Analyzer {
+	return &Analyzer{
+		ID:   RuleCacheKeySoundness,
+		Name: "cache-key-soundness",
+		Doc:  "engine option fields read on the serve path but absent from the cache key; keyed fields never read",
+		Run:  runG011,
+	}
+}
+
+func runG011(p *Pass) []Finding {
+	g := p.Mod.serveFacts()
+	if len(g.roots) == 0 {
+		return nil
+	}
+	var out []Finding
+	out = append(out, g011EngineStructs(p, g)...)
+	out = append(out, g011KeyedStructs(p, g)...)
+	return out
+}
+
+// g011EngineStructs checks the pinned engine option structs declared in
+// this package against the reachable reads and the taint-graded feeds.
+func g011EngineStructs(p *Pass, g *serveGraph) []Finding {
+	var out []Finding
+	for _, entry := range engineOptionStructs {
+		if !pathMatchesAny(p.Pkg.Path, []string{entry.pkg}) {
+			continue
+		}
+		obj, ok := p.Pkg.Types.Scope().Lookup(entry.typ).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			key := fieldKey(obj, f.Name())
+			read := g.readInReach(obj, f.Name())
+			feed := g.feeds[key]
+			switch {
+			case read && (feed == nil || !feed.fedKeyed):
+				if feed == nil && cacheKeyFieldAllowed(p.Pkg.Path, entry.typ, f.Name()) {
+					continue
+				}
+				how := "is never fed by the serve layer"
+				if feed != nil {
+					how = "is fed from data outside the cache key"
+				}
+				out = append(out, p.finding(RuleCacheKeySoundness, Error, f.Pos(),
+					fmt.Sprintf("%s.%s is read by %s (reachable from %s) but %s",
+						entry.typ, f.Name(), g.readBy[key], g.rootForRead(key), how),
+					"feed it from a canonicalized request field, or pin its zero-value default in cacheKeyFieldAllowlist"))
+			case !read && feed != nil && feed.fedKeyed:
+				out = append(out, p.finding(RuleCacheKeySoundness, Info, f.Pos(),
+					fmt.Sprintf("%s.%s is fed from cache-keyed data but engine code reachable from the handlers never reads it",
+						entry.typ, f.Name()),
+					"drop the feed (and the request field, if unused) to stop splitting the cache on a no-op"))
+			}
+		}
+	}
+	return out
+}
+
+// g011KeyedStructs checks the canonicalized serve structs declared in
+// this package: excluded-but-read fields are errors, hashed-but-unread
+// fields are infos.
+func g011KeyedStructs(p *Pass, g *serveGraph) []Finding {
+	var out []Finding
+	for _, owner := range g.keyedStructs {
+		if owner.Pkg() == nil || owner.Pkg().Path() != p.Pkg.Path {
+			continue
+		}
+		st := owner.Type().Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			kf := g.keyedFields[fieldKey(owner, f.Name())]
+			if kf == nil || kf.exempt {
+				continue
+			}
+			read := g.readInReach(owner, f.Name())
+			switch {
+			case !kf.keyed && read:
+				why := "excluded from the cache key by its json tag"
+				if kf.stripped {
+					why = "zeroed before hashing"
+				}
+				out = append(out, p.finding(RuleCacheKeySoundness, Error, f.Pos(),
+					fmt.Sprintf("%s.%s is read on the serve path but %s — identical keys can serve different results",
+						owner.Name(), f.Name(), why),
+					"key the field, or vet the exclusion in keyExemptFields with a written reason"))
+			case kf.keyed && !read:
+				out = append(out, p.finding(RuleCacheKeySoundness, Info, f.Pos(),
+					fmt.Sprintf("%s.%s is hashed into the cache key but never read on the serve path",
+						owner.Name(), f.Name()),
+					"wire the field into the engine call or drop it — dead key material splits the cache"))
+			}
+		}
+	}
+	return out
+}
+
+// rootForRead names the handler root behind the first reachable read of
+// a field (for messages).
+func (g *serveGraph) rootForRead(key string) string {
+	uses := g.reads[key]
+	if len(uses) == 0 {
+		return "?"
+	}
+	for _, ff := range g.reachList {
+		for _, fr := range ff.fieldReads {
+			if fr.pos == uses[0].pos {
+				return g.reach[ff.fn]
+			}
+		}
+	}
+	return "?"
+}

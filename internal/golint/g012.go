@@ -1,0 +1,116 @@
+package golint
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// analyzerG012 enforces cancellation reachability: the 504/499 contract
+// of the serving layer promises that a request stops consuming CPU soon
+// after its deadline fires or its client disconnects. G003 checks that
+// contexts are threaded; this rule checks that they are *polled* — every
+// statically-unbounded loop in a function reachable from the /v1/*
+// handler wiring must reach a context poll within maxPollFrames call
+// frames, or the promise is a lie for exactly the inputs big enough to
+// matter.
+//
+// A loop is flagged only when all of these hold:
+//
+//   - statically unbounded: `for {}`, cond-only `for x {}`, or a
+//     3-clause for with no condition (range loops and loops with a post
+//     statement are bounded by what they walk);
+//   - compound: its body contains another loop, or calls a function
+//     within maxLoopFrames of a loop — flat scans complete in one pass
+//     of their input and are not worth a poll;
+//   - unpolled: no direct poll (ctx.Err(), receive from a
+//     struct{}-channel) in the body, and no call in the body to a
+//     function whose poll depth is < maxPollFrames;
+//   - not nested (same function) inside an unbounded loop that is
+//     itself polled — the enclosing poll bounds the latency (documented
+//     gap: the inner loop could still run long between outer
+//     iterations);
+//   - not vetted in ctxLoopExemptPackages / ctxLoopAllowlist.
+func analyzerG012() *Analyzer {
+	return &Analyzer{
+		ID:   RuleCancelReachability,
+		Name: "cancellation-reachability",
+		Doc:  "unbounded loops reachable from /v1/* handlers that never poll their context",
+		Run:  runG012,
+	}
+}
+
+func runG012(p *Pass) []Finding {
+	g := p.Mod.serveFacts()
+	if len(g.roots) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, ff := range g.reachList {
+		if ff.pkg != p.Pkg {
+			continue
+		}
+		if ctxLoopPackageExempt(p.Pkg.Path) || ctxLoopAllowed(p.Pkg.Path, ff.fn.Name()) {
+			continue
+		}
+		for _, lp := range ff.loops {
+			if !g.compoundLoop(ff, lp) || g.polledLoop(ff, lp) || g.insidePolledLoop(ff, lp) {
+				continue
+			}
+			out = append(out, p.finding(RuleCancelReachability, Error, lp.pos,
+				fmt.Sprintf("unbounded loop in %s is reachable from %s but never polls its context (no poll within %d call frames)",
+					ff.fn.Name(), g.rootFor(ff.fn), maxPollFrames),
+				"poll ctx.Err() or select on the done channel in the loop body, or vet the function in ctxLoopAllowlist"))
+		}
+	}
+	return out
+}
+
+// compoundLoop reports whether the loop does per-iteration work worth a
+// poll: a nested loop in its body, or a call to a function within
+// maxLoopFrames of a loop.
+func (g *serveGraph) compoundLoop(ff *funcFacts, lp loopSite) bool {
+	if lp.nested {
+		return true
+	}
+	for _, cs := range ff.calls {
+		if inBody(lp, cs.pos) && g.loopDepthOf(cs.callee) < maxLoopFrames {
+			return true
+		}
+	}
+	return false
+}
+
+// polledLoop reports whether the loop body polls the context directly or
+// calls a function within maxPollFrames of a direct poll.
+func (g *serveGraph) polledLoop(ff *funcFacts, lp loopSite) bool {
+	for _, pos := range ff.polls {
+		if inBody(lp, pos) {
+			return true
+		}
+	}
+	for _, cs := range ff.calls {
+		if inBody(lp, cs.pos) && g.pollDepthOf(cs.callee) < maxPollFrames {
+			return true
+		}
+	}
+	return false
+}
+
+// insidePolledLoop reports whether another recorded unbounded loop of
+// the same function encloses this one and is itself polled.
+func (g *serveGraph) insidePolledLoop(ff *funcFacts, lp loopSite) bool {
+	for _, outer := range ff.loops {
+		if outer.body == lp.body {
+			continue
+		}
+		if inBody(outer, lp.pos) && g.polledLoop(ff, outer) {
+			return true
+		}
+	}
+	return false
+}
+
+// inBody reports whether pos falls inside the loop's body.
+func inBody(lp loopSite, pos token.Pos) bool {
+	return lp.body.Pos() <= pos && pos <= lp.body.End()
+}

@@ -1,0 +1,66 @@
+package golint
+
+import "fmt"
+
+// analyzerG013 enforces engine-output purity on the cache-keyed path:
+// the serve cache replays responses byte-identically for identical keys,
+// so any input an engine reads that is *not* in the key must be constant
+// for the life of the process. Two ambient-input classes violate that
+// statically:
+//
+//   - reads of mutable package state: a module package-level variable
+//     that any non-init function writes (assignment, ++/--, or
+//     address-taken) — if a function reachable from the /v1/* wiring
+//     touches it, two requests with identical keys can observe
+//     different values;
+//   - environment reads (os.Getenv / LookupEnv / Environ) anywhere on
+//     the reachable path — env is ambient config outside the key.
+//
+// Immutable package state (error sentinels, lookup tables written only
+// by init) is fine: constant inputs cannot split the cache. Vetted
+// exceptions live in mutableStateAllowlist with a written reason —
+// typically synchronization primitives or metrics that never feed a
+// response body. This rule is the static complement of G004 (which
+// flags impure *calls* per package): G013 follows the call graph, so it
+// catches a global read three helpers below a handler that G004's
+// per-package scoping would vet or miss.
+func analyzerG013() *Analyzer {
+	return &Analyzer{
+		ID:   RuleEngineOutputPurity,
+		Name: "engine-output-purity",
+		Doc:  "mutable package state or environment reads on the cache-keyed serve path",
+		Run:  runG013,
+	}
+}
+
+func runG013(p *Pass) []Finding {
+	g := p.Mod.serveFacts()
+	if len(g.roots) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, ff := range g.reachList {
+		if ff.pkg != p.Pkg {
+			continue
+		}
+		for _, use := range ff.globalUses {
+			if !g.mutableGlobals[use.obj] {
+				continue
+			}
+			if mutableStateAllowed(p.Pkg.Path, use.obj.Name()) {
+				continue
+			}
+			out = append(out, p.finding(RuleEngineOutputPurity, Error, use.pos,
+				fmt.Sprintf("%s (reachable from %s) touches mutable package state %q, which is outside the cache key",
+					ff.fn.Name(), g.rootFor(ff.fn), use.obj.Name()),
+				"pass the value through the request options (keyed), make it immutable, or vet it in mutableStateAllowlist"))
+		}
+		for _, ec := range ff.envCalls {
+			out = append(out, p.finding(RuleEngineOutputPurity, Error, ec.pos,
+				fmt.Sprintf("%s (reachable from %s) reads the process environment via %s — ambient config outside the cache key",
+					ff.fn.Name(), g.rootFor(ff.fn), ec.name),
+				"resolve environment at startup and pass the value through configuration, never on the request path"))
+		}
+	}
+	return out
+}

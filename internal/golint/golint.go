@@ -38,10 +38,22 @@
 //	G010 worker-state-sharing        unsynchronized writes from goroutine
 //	     closures to variables shared with other writers — the static
 //	     complement of the -race test list
+//	G011 cache-key-soundness         engine option fields read on the
+//	     serve path but absent from the cache-key canonicalization, and
+//	     keyed or fed fields nothing ever reads (see taint.go)
+//	G012 cancellation-reachability   statically-unbounded loops reachable
+//	     from the /v1/* handler wiring that never poll their context
+//	     within a bounded number of call frames
+//	G013 engine-output-purity        mutable package state or environment
+//	     reads on the cache-keyed serve path — the static complement of
+//	     the cache's byte-identical-hit tests
 //
 // G001–G006 judge one file at a time; G007–G010 additionally consult
 // Pass.Mod, the whole-module call graph built once per Run (see
-// callgraph.go).
+// callgraph.go). G011–G013 further consult the interprocedural dataflow
+// built on top of it (see taint.go): backward reachability from the
+// /v1/* handler wiring and forward field-sensitive taint from the
+// cache-keyed option structs.
 //
 // Findings mirror the internal/lint model — stable rule IDs, the same
 // Severity scale, a locus, and a fix hint — so cmd/lint and
@@ -103,6 +115,15 @@ const (
 	// RuleWorkerStateSharing: unsynchronized goroutine-closure write to a
 	// variable shared with other writers.
 	RuleWorkerStateSharing = "G010"
+	// RuleCacheKeySoundness: engine option field read on the serve path
+	// but not consumed by the cache-key canonicalization (or vice versa).
+	RuleCacheKeySoundness = "G011"
+	// RuleCancelReachability: statically-unbounded loop reachable from a
+	// /v1/* handler that never polls its context.
+	RuleCancelReachability = "G012"
+	// RuleEngineOutputPurity: mutable package state or environment read
+	// on the cache-keyed serve path.
+	RuleEngineOutputPurity = "G013"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -159,6 +180,9 @@ func Analyzers() []*Analyzer {
 		analyzerG008(),
 		analyzerG009(),
 		analyzerG010(),
+		analyzerG011(),
+		analyzerG012(),
+		analyzerG013(),
 	}
 }
 

@@ -67,6 +67,9 @@ func TestFixturesMatchGoldens(t *testing.T) {
 		{"g008", RuleGoroutineDiscipline, 3},
 		{"g009", RuleLockDiscipline, 4},
 		{"g010", RuleWorkerStateSharing, 2},
+		{"g011", RuleCacheKeySoundness, 4},
+		{"g012", RuleCancelReachability, 2},
+		{"g013", RuleEngineOutputPurity, 3},
 	} {
 		t.Run(fixture.name, func(t *testing.T) {
 			rep := analyzeFixture(t, fixture.name)
@@ -132,7 +135,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 			t.Errorf("analyzer %s incompletely declared", a.ID)
 		}
 	}
-	want := []string{"G001", "G002", "G003", "G004", "G005", "G006", "G007", "G008", "G009", "G010"}
+	want := []string{"G001", "G002", "G003", "G004", "G005", "G006", "G007", "G008", "G009", "G010", "G011", "G012", "G013"}
 	if !reflect.DeepEqual(ids, want) {
 		t.Errorf("registry IDs = %v, want %v", ids, want)
 	}
@@ -171,9 +174,12 @@ func TestCombinedOrderGolden(t *testing.T) {
 	// care.
 	pkgs, err := l.Load(
 		fixtureDir(t, "g010"),
+		fixtureDir(t, "g013"),
 		fixtureDir(t, "g008"),
+		fixtureDir(t, "g011"),
 		fixtureDir(t, "g009"),
 		fixtureDir(t, "g007"),
+		fixtureDir(t, "g012"),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +206,9 @@ func TestCleanShapesStayClean(t *testing.T) {
 		"g008": {47, 62}, // Joined (wg-joined, ctx-observing, arg-passing)
 		"g009": {45, 50}, // Bump (lock/defer-unlock critical section)
 		"g010": {38, 68}, // Guarded, Sharded
+		"g011": {30, 60}, // mount, Register, parseThing, buildOpts, runThing
+		"g012": {48, 76}, // polled, Vetted, step, pending
+		"g013": {35, 40}, // limit comparison, vetted scratch writes
 	}
 	for name, span := range cleanFuncs {
 		rep := analyzeFixture(t, name)

@@ -55,12 +55,12 @@ func TestLoadWildcard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 10 {
+	if len(pkgs) != 13 {
 		var got []string
 		for _, p := range pkgs {
 			got = append(got, p.Path)
 		}
-		t.Errorf("loaded %d packages (%v), want 10", len(pkgs), got)
+		t.Errorf("loaded %d packages (%v), want 13", len(pkgs), got)
 	}
 	for i := 1; i < len(pkgs); i++ {
 		if pkgs[i-1].Path >= pkgs[i].Path {

@@ -1,0 +1,124 @@
+package golint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF rendering: the minimal stable subset of SARIF 2.1.0 that code
+// scanning backends ingest — one run, the registry as the rule table,
+// one result per finding with a single physical location. Field order
+// is fixed by the struct declarations and the encoder is deterministic,
+// so the output is byte-stable for a given report (the same contract
+// the JSON mode pins with its goldens).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	Name             string       `json:"name"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifLevel maps the severity scale onto the SARIF level vocabulary;
+// Info renders as "note" per the specification.
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// WriteSARIF renders the report's findings at or above min as a SARIF
+// 2.1.0 log. The rule table lists exactly the analyzers that ran, in
+// registry order, and each result's ruleIndex points into it. Hints
+// ride in the result message, parenthesized, matching the one-line text
+// renderer.
+func WriteSARIF(w io.Writer, rep *Report, analyzers []*Analyzer, min Severity) error {
+	drv := sarifDriver{Name: "codelint", Rules: []sarifRule{}}
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		index[a.ID] = i
+		drv.Rules = append(drv.Rules, sarifRule{
+			ID:               a.ID,
+			Name:             a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := []sarifResult{}
+	for _, f := range rep.Filter(min) {
+		msg := f.Message
+		if f.Hint != "" {
+			msg += " (" + f.Hint + ")"
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: index[f.Rule],
+			Level:     sarifLevel(f.Severity),
+			Message:   sarifMessage{Text: msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: drv}, Results: results}},
+	})
+}

@@ -176,6 +176,161 @@ func TestEngineCallPackagesPinned(t *testing.T) {
 	}
 }
 
+// TestEngineOptionStructsPinned pins the G011 audit surface: the five
+// engine option structs the serve run closures hand across, plus the
+// fixture. internal/lint.Options stays out by decision — /v1/lint runs
+// at defaults and its report is advisory.
+func TestEngineOptionStructsPinned(t *testing.T) {
+	want := map[string]bool{
+		"internal/fsim.Options":             true,
+		"internal/atpg.Options":             true,
+		"internal/implic.Options":           true,
+		"internal/tpi.CPOptions":            true,
+		"internal/tpi.OPOptions":            true,
+		"testdata/codelint/g011.EngineOpts": true,
+		"internal/lint.Options":             false,
+		"internal/serve.planOptions":        false,
+	}
+	declared := 0
+	for _, e := range engineOptionStructs {
+		declared++
+		if !want[e.pkg+"."+e.typ] {
+			t.Errorf("unexpected engineOptionStructs entry %s.%s", e.pkg, e.typ)
+		}
+	}
+	if declared != 6 {
+		t.Errorf("engineOptionStructs declares %d structs, want 6 — update this pin together with the table", declared)
+	}
+	if !isEngineOptionStruct("repro/internal/atpg", "Options") {
+		t.Error("engineOptionStructs lost atpg.Options")
+	}
+	if isEngineOptionStruct("repro/internal/lint", "Options") {
+		t.Error("lint.Options joined the audit surface without a request surface — revisit the decision in allowlist.go")
+	}
+}
+
+// TestCacheKeyFieldAllowlistPinned pins the vetted zero-default fields
+// and their justifications.
+func TestCacheKeyFieldAllowlistPinned(t *testing.T) {
+	want := map[string]bool{
+		"internal/tpi.CPOptions.COP":               true,
+		"internal/tpi.OPOptions.COP":               true,
+		"internal/implic.Options.LearnRounds":      true,
+		"testdata/codelint/g011.EngineOpts.Tuning": true,
+	}
+	if len(cacheKeyFieldAllowlist) != len(want) {
+		t.Errorf("cacheKeyFieldAllowlist has %d entries, want %d — update this pin together with the table", len(cacheKeyFieldAllowlist), len(want))
+	}
+	for _, e := range cacheKeyFieldAllowlist {
+		if !want[e.pkg+"."+e.typ+"."+e.field] {
+			t.Errorf("unexpected allowlist entry %s.%s.%s", e.pkg, e.typ, e.field)
+		}
+		if e.why == "" {
+			t.Errorf("allowlist entry %s.%s.%s carries no justification", e.pkg, e.typ, e.field)
+		}
+	}
+	if cacheKeyFieldAllowed("repro/internal/atpg", "Options", "Learn") {
+		t.Error("atpg.Options.Learn is fed by serve and must never be pinned as a constant")
+	}
+	if !keyExemptField("timeout_ms", "TimeoutMS") || len(keyExemptFields) != 1 {
+		t.Error("keyExemptFields must vet exactly timeout_ms (transport concerns only)")
+	}
+	if keyExemptField("seed", "Seed") {
+		t.Error("seed changes engine results and must never be key-exempt")
+	}
+}
+
+// TestCtxLoopTablesPinned pins the G012 exemptions: the bounded
+// request-materialization packages and the two vetted engine walks, all
+// with written reasons.
+func TestCtxLoopTablesPinned(t *testing.T) {
+	wantPkgs := map[string]bool{
+		"internal/netlist": true, "internal/bench": true, "internal/gen": true,
+		"internal/logic": true, "internal/fault": true, "internal/pattern": true,
+		"internal/testability": true, "internal/lint": true,
+	}
+	if len(ctxLoopExemptPackages) != len(wantPkgs) {
+		t.Errorf("ctxLoopExemptPackages has %d entries, want %d — update this pin together with the table", len(ctxLoopExemptPackages), len(wantPkgs))
+	}
+	for _, e := range ctxLoopExemptPackages {
+		if !wantPkgs[e.pkg] {
+			t.Errorf("unexpected package exemption %s", e.pkg)
+		}
+		if e.why == "" {
+			t.Errorf("package exemption %s carries no justification", e.pkg)
+		}
+	}
+	for _, engine := range []string{"repro/internal/fsim", "repro/internal/atpg", "repro/internal/tpi", "repro/internal/implic", "repro/internal/serve"} {
+		if ctxLoopPackageExempt(engine) {
+			t.Errorf("%s must never be package-exempt from G012: its loops are the ones the rule exists for", engine)
+		}
+	}
+	wantFns := map[string]bool{
+		"internal/tpi.reconstruct":      true,
+		"internal/atpg.backtrace":       true,
+		"testdata/codelint/g012.Vetted": true,
+	}
+	if len(ctxLoopAllowlist) != len(wantFns) {
+		t.Errorf("ctxLoopAllowlist has %d entries, want %d — update this pin together with the table", len(ctxLoopAllowlist), len(wantFns))
+	}
+	for _, e := range ctxLoopAllowlist {
+		if !wantFns[e.pkg+"."+e.fn] {
+			t.Errorf("unexpected function allowlist entry %s.%s", e.pkg, e.fn)
+		}
+		if e.why == "" {
+			t.Errorf("function allowlist entry %s.%s carries no justification", e.pkg, e.fn)
+		}
+	}
+	if ctxLoopAllowed("repro/internal/implic", "computeDominators") {
+		t.Error("computeDominators polls now; it must never return to the allowlist")
+	}
+}
+
+// TestMutableStateAllowlistPinned pins the G013 exemptions to the
+// fixture's scratch buffer alone: the engine tree holds no vetted
+// mutable state on the keyed path.
+func TestMutableStateAllowlistPinned(t *testing.T) {
+	if len(mutableStateAllowlist) != 1 {
+		t.Errorf("mutableStateAllowlist has %d entries, want 1 — update this pin together with the table", len(mutableStateAllowlist))
+	}
+	if !mutableStateAllowed("repro/testdata/codelint/g013", "scratch") {
+		t.Error("mutableStateAllowlist lost the fixture's scratch entry")
+	}
+	if mutableStateAllowed("repro/internal/serve", "scratch") {
+		t.Error("the fixture exemption must not leak onto serve")
+	}
+}
+
+// TestCtxLoopAllowlistLoadBearing asserts the vetted engine functions
+// still contain the unbounded loops their entries cover — a stale entry
+// fails here and gets removed.
+func TestCtxLoopAllowlistLoadBearing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks tpi and atpg")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("repro/internal/tpi", "repro/internal/atpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newModuleFacts(l, pkgs)
+	covered := make(map[string]bool)
+	for _, fn := range m.order {
+		ff := m.funcs[fn]
+		if ctxLoopAllowed(ff.pkg.Path, fn.Name()) && len(ff.loops) > 0 {
+			covered[ff.pkg.Path+"."+fn.Name()] = true
+		}
+	}
+	for _, want := range []string{"repro/internal/tpi.reconstruct", "repro/internal/atpg.backtrace"} {
+		if !covered[want] {
+			t.Errorf("%s no longer holds an unbounded loop; prune its ctxLoopAllowlist entry", want)
+		}
+	}
+}
+
 // TestAllowlistLoadBearing asserts the serve/exp allowlist entries
 // still cover real call sites: running G004 with the allowlist
 // bypassed must flag time.Now there. This keeps the table honest — a

@@ -1,0 +1,52 @@
+package implic
+
+import (
+	"context"
+
+	"repro/internal/netlist"
+)
+
+// Cancellation support for the engine build. Constructing the database
+// is the expensive phase — a dominator fixpoint plus LearnRounds+1
+// implication sweeps over every literal — and it runs on the serve
+// request path (directly for /v1/lint's static rules, and for /v1/atpg
+// when learned-implication pruning is requested). Like the tpi
+// planners, cancellation aborts via a private panic value recovered in
+// the exported wrapper, so the recursive/worklist internals need no
+// error plumbing. Queries after a successful build are read-only table
+// lookups and never poll.
+type ctxAbort struct{ err error }
+
+// pollBuild panics with ctxAbort when the build context is done. The
+// done channel is nil outside NewContext (and for context.Background),
+// making the select arm never ready — the non-cancellable path pays one
+// cheap select.
+func (e *Engine) pollBuild() {
+	select {
+	case <-e.buildDone:
+		panic(ctxAbort{e.buildCtx.Err()})
+	default:
+	}
+}
+
+// recoverCtx converts a ctxAbort panic into *err; any other panic is
+// re-raised.
+func recoverCtx(err *error) {
+	switch r := recover().(type) {
+	case nil:
+	case ctxAbort:
+		*err = r.err
+	default:
+		panic(r)
+	}
+}
+
+// NewContext builds the engine like New but honors ctx: the dominator
+// fixpoint, the implication sweeps, and the propagation worklists poll
+// the context and abort with its error once it is done. The returned
+// engine is nil on abort.
+func NewContext(ctx context.Context, c *netlist.Circuit, opts Options) (e *Engine, err error) {
+	defer recoverCtx(&err)
+	e = build(ctx, c, opts)
+	return e, nil
+}

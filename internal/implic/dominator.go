@@ -89,6 +89,7 @@ func (e *Engine) computeDominators() {
 	idom[sink] = sink
 	intersect := func(a, b int) int {
 		for a != b {
+			e.pollBuild()
 			for rpo[a] > rpo[b] {
 				a = idom[a]
 			}
@@ -99,6 +100,7 @@ func (e *Engine) computeDominators() {
 		return a
 	}
 	for changed := true; changed; {
+		e.pollBuild()
 		changed = false
 		for _, b := range order[1:] {
 			newIdom := -1

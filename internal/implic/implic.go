@@ -28,6 +28,7 @@
 package implic
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/netlist"
@@ -87,11 +88,26 @@ type Engine struct {
 	touched []int32
 	gq      []int32
 	inq     []bool
+
+	// build-time cancellation (context.go); cleared before build returns
+	// so post-build queries never observe a dead request context.
+	buildCtx  context.Context
+	buildDone <-chan struct{}
 }
 
 // New builds the engine: dominators, then LearnRounds+1 implication
 // sweeps over every literal with contrapositive learning in between.
+// Use NewContext to bound the build by a request deadline.
 func New(c *netlist.Circuit, opts Options) *Engine {
+	e, err := NewContext(context.Background(), c, opts)
+	if err != nil {
+		panic(err) // unreachable: the background context is never done
+	}
+	return e
+}
+
+// build is the engine constructor body shared by New and NewContext.
+func build(ctx context.Context, c *netlist.Circuit, opts Options) *Engine {
 	n := c.NumGates()
 	e := &Engine{
 		c:       c,
@@ -108,6 +124,12 @@ func New(c *netlist.Circuit, opts Options) *Engine {
 	for i := range e.val {
 		e.val[i] = -1
 	}
+	e.buildCtx = ctx
+	e.buildDone = ctx.Done()
+	defer func() {
+		e.buildCtx = nil
+		e.buildDone = nil
+	}()
 	e.computeDominators()
 
 	rounds := opts.LearnRounds
@@ -118,6 +140,7 @@ func New(c *netlist.Circuit, opts Options) *Engine {
 		rounds = 0
 	}
 	for iter := 0; ; iter++ {
+		e.pollBuild()
 		newConst := e.sweep()
 		if iter >= rounds {
 			break
@@ -300,7 +323,14 @@ func (e *Engine) run(seeds ...Lit) (conflict bool) {
 		}
 		assign(s.Signal(), v)
 	}
+	// Poll the build context every 1024 worklist steps: propagation is
+	// the hot inner loop of the sweeps, so the select is amortized the
+	// same way fsim amortizes its per-block poll.
+	steps := 0
 	for !conflict && (len(pending) > 0 || len(e.gq) > 0) {
+		if steps++; steps&1023 == 0 {
+			e.pollBuild()
+		}
 		if len(pending) > 0 {
 			l := pending[len(pending)-1]
 			pending = pending[:len(pending)-1]

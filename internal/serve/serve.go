@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/fsim"
+	"repro/internal/implic"
 	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/pattern"
@@ -300,6 +301,10 @@ type planOptions struct {
 	NOP int `json:"nop"`
 	// Dth is the COP detection-probability threshold (default 1/4096).
 	Dth float64 `json:"dth"`
+	// MaxCandidates caps the control-point candidates evaluated per
+	// greedy iteration for "control" and "hybrid" (0 = engine default,
+	// 64).
+	MaxCandidates int `json:"max_candidates"`
 	// TimeoutMS optionally shortens the server request deadline. It is
 	// excluded from the cache key.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -341,6 +346,9 @@ func parsePlan(raw json.RawMessage) (any, int, runFunc, error) {
 	default:
 		return nil, 0, nil, fmt.Errorf("unknown planner %q", opts.Planner)
 	}
+	if opts.MaxCandidates < 0 {
+		return nil, 0, nil, fmt.Errorf("max_candidates must be non-negative, got %d", opts.MaxCandidates)
+	}
 	timeoutMS := opts.TimeoutMS
 	opts.TimeoutMS = 0
 	run := func(ctx context.Context, c *netlist.Circuit) (any, error) {
@@ -364,7 +372,7 @@ func parsePlan(raw json.RawMessage) (any, int, runFunc, error) {
 			resp.TotalFaults, resp.StatesVisited = p.TotalFaults, p.StatesVisited
 		case "control":
 			faults := fault.CollapsedUniverse(c)
-			p, err := tpi.PlanControlPointsGreedyContext(ctx, c, faults, opts.NCP, opts.Dth, tpi.CPOptions{})
+			p, err := tpi.PlanControlPointsGreedyContext(ctx, c, faults, opts.NCP, opts.Dth, tpi.CPOptions{MaxCandidates: opts.MaxCandidates})
 			if err != nil {
 				return nil, err
 			}
@@ -381,7 +389,7 @@ func parsePlan(raw json.RawMessage) (any, int, runFunc, error) {
 			resp.TotalFaults, resp.StatesVisited = p.TotalFaults, p.Evaluations
 		case "hybrid":
 			faults := fault.CollapsedUniverse(c)
-			p, err := tpi.PlanHybridContext(ctx, c, faults, opts.NCP, opts.NOP, opts.Dth, tpi.CPOptions{}, tpi.OPOptions{})
+			p, err := tpi.PlanHybridContext(ctx, c, faults, opts.NCP, opts.NOP, opts.Dth, tpi.CPOptions{MaxCandidates: opts.MaxCandidates}, tpi.OPOptions{})
 			if err != nil {
 				return nil, err
 			}
@@ -411,7 +419,10 @@ type simOptions struct {
 	FullUniverse bool `json:"full_universe"`
 	// KeepFaults disables fault dropping after first detection.
 	KeepFaults bool `json:"keep_faults"`
-	TimeoutMS  int  `json:"timeout_ms,omitempty"`
+	// CountDetections reports how many patterns detect each fault.
+	// Meaningful beyond the first detection only with keep_faults.
+	CountDetections bool `json:"count_detections"`
+	TimeoutMS       int  `json:"timeout_ms,omitempty"`
 }
 
 type detectJSON struct {
@@ -419,14 +430,20 @@ type detectJSON struct {
 	Pattern int    `json:"pattern"`
 }
 
+type detectCountJSON struct {
+	Fault string `json:"fault"`
+	Count int    `json:"count"`
+}
+
 type simResponse struct {
-	Circuit     circuitInfo  `json:"circuit"`
-	Faults      int          `json:"faults"`
-	Patterns    int          `json:"patterns"`
-	Detected    int          `json:"detected"`
-	Coverage    float64      `json:"coverage"`
-	FirstDetect []detectJSON `json:"first_detect"`
-	Undetected  []string     `json:"undetected"`
+	Circuit      circuitInfo       `json:"circuit"`
+	Faults       int               `json:"faults"`
+	Patterns     int               `json:"patterns"`
+	Detected     int               `json:"detected"`
+	Coverage     float64           `json:"coverage"`
+	FirstDetect  []detectJSON      `json:"first_detect"`
+	Undetected   []string          `json:"undetected"`
+	DetectCounts []detectCountJSON `json:"detect_counts,omitempty"`
 }
 
 func parseFaultsim(raw json.RawMessage) (any, int, runFunc, error) {
@@ -452,8 +469,9 @@ func parseFaultsim(raw json.RawMessage) (any, int, runFunc, error) {
 			src = pattern.NewCounter(c.NumInputs())
 		}
 		res, err := fsim.RunContext(ctx, c, faults, src, fsim.Options{
-			MaxPatterns: opts.Patterns,
-			DropFaults:  !opts.KeepFaults,
+			MaxPatterns:     opts.Patterns,
+			DropFaults:      !opts.KeepFaults,
+			CountDetections: opts.CountDetections,
 		})
 		if err != nil {
 			return nil, err
@@ -480,6 +498,12 @@ func parseFaultsim(raw json.RawMessage) (any, int, runFunc, error) {
 		for _, f := range res.Undetected() {
 			resp.Undetected = append(resp.Undetected, f.Name(c))
 		}
+		for f, n := range res.DetectCount {
+			resp.DetectCounts = append(resp.DetectCounts, detectCountJSON{Fault: f.Name(c), Count: n})
+		}
+		sort.Slice(resp.DetectCounts, func(i, j int) bool {
+			return resp.DetectCounts[i].Fault < resp.DetectCounts[j].Fault
+		})
 		return &resp, nil
 	}
 	return opts, timeoutMS, run, nil
@@ -493,7 +517,11 @@ type atpgOptions struct {
 	BacktrackLimit int `json:"backtrack_limit"`
 	// FullUniverse targets the uncollapsed fault universe.
 	FullUniverse bool `json:"full_universe"`
-	TimeoutMS    int  `json:"timeout_ms,omitempty"`
+	// Learn builds a static implication database (dominators plus
+	// contrapositive learning) over the circuit and hands it to the
+	// PODEM search for learned-implication pruning.
+	Learn     bool `json:"learn"`
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
 }
 
 type atpgResponse struct {
@@ -522,7 +550,11 @@ func parseATPG(raw json.RawMessage) (any, int, runFunc, error) {
 		if opts.FullUniverse {
 			faults = fault.Universe(c)
 		}
-		ts, err := atpg.GenerateTestsContext(ctx, c, faults, atpg.Options{BacktrackLimit: opts.BacktrackLimit})
+		eng, err := learnEngine(ctx, c, opts.Learn)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := atpg.GenerateTestsContext(ctx, c, faults, atpg.Options{BacktrackLimit: opts.BacktrackLimit, Learn: eng})
 		if err != nil {
 			return nil, err
 		}
@@ -555,6 +587,16 @@ func parseATPG(raw json.RawMessage) (any, int, runFunc, error) {
 		return &resp, nil
 	}
 	return opts, timeoutMS, run, nil
+}
+
+// learnEngine builds the optional static-learning implication engine for
+// /v1/atpg. The build honors ctx: the dominator fixpoint and the
+// implication sweeps abort with the context's error once it is done.
+func learnEngine(ctx context.Context, c *netlist.Circuit, learn bool) (*implic.Engine, error) {
+	if !learn {
+		return nil, nil
+	}
+	return implic.NewContext(ctx, c, implic.Options{})
 }
 
 // ---- /v1/lint ----

@@ -1,0 +1,60 @@
+// Package g011 is a codelint fixture: cache-key soundness (rule G011).
+// The route literal in Register marks parseThing as a handler root; its
+// first return operand makes thingOptions the canonicalized (keyed)
+// struct, and EngineOpts is pinned in engineOptionStructs. Depth shows
+// the sound shape end to end — keyed request field, tainted feed,
+// engine read — and must stay clean, as must Tuning (vetted in
+// cacheKeyFieldAllowlist) and TimeoutMS (zero-stripped and vetted in
+// keyExemptFields).
+package g011
+
+// EngineOpts mirrors an engine option struct handed across the serve
+// boundary.
+type EngineOpts struct {
+	Depth  int  // fed from keyed request data and read: clean
+	Boost  int  // finding: read by the engine but never fed
+	Trace  bool // finding: fed from keyed data but never read
+	Tuning int  // read at its zero default, vetted: clean
+}
+
+// thingOptions is the canonicalized request option struct.
+type thingOptions struct {
+	Depth     int    `json:"depth"` // keyed and read: clean
+	Width     int    `json:"width"` // finding: hashed but never read
+	Label     string `json:"-"`     // finding: excluded from the key but read
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// mount records one route the way serve wires its endpoints; the
+// "/v1/..." literal is what marks the parse argument as a root.
+func mount(route string, parse func(int) (thingOptions, int)) map[string]func(int) (thingOptions, int) {
+	return map[string]func(int) (thingOptions, int){route: parse}
+}
+
+// Register wires the fixture's single handler.
+func Register() map[string]func(int) (thingOptions, int) {
+	return mount("/v1/thing", parseThing)
+}
+
+// parseThing decodes, defaults, and strips the request options, then
+// runs the engine — the shape of a serve parse function.
+func parseThing(depth int) (thingOptions, int) {
+	opts := thingOptions{Depth: depth, Width: 8, Label: "thing"}
+	timeout := opts.TimeoutMS
+	opts.TimeoutMS = 0
+	return opts, timeout + runThing(buildOpts(opts), opts.Label)
+}
+
+// buildOpts is the serve-to-engine feed site.
+func buildOpts(o thingOptions) EngineOpts {
+	return EngineOpts{Depth: o.Depth, Trace: o.Depth > 2}
+}
+
+// runThing is the engine: what it reads is what must be keyed.
+func runThing(o EngineOpts, label string) int {
+	n := o.Depth + o.Boost + o.Tuning
+	if label != "" {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+// Package g012 is a codelint fixture: cancellation reachability (rule
+// G012). Register wires crunch through a method value, and crunch
+// reaches drain through a deferred call — both edge kinds the
+// reachability walk must follow. The loops in crunch and drain do
+// compound per-iteration work without ever polling: findings. polled
+// (per-iteration select on the done channel), step (three-clause
+// bounded loop), and Vetted (pinned in ctxLoopAllowlist) must stay
+// clean.
+package g012
+
+// mux mimics the serve wiring surface.
+type mux struct{ routes map[string]func() }
+
+func (m *mux) handle(route string, h func()) { m.routes[route] = h }
+
+// server owns a done channel in the ctx.Done convention.
+type server struct {
+	done chan struct{}
+	buf  []int
+}
+
+// Register wires crunch as the "/v1/crunch" handler via a method value.
+func Register(m *mux, s *server) {
+	m.handle("/v1/crunch", s.crunch)
+}
+
+// crunch spins on step without polling: finding.
+func (s *server) crunch() {
+	defer s.drain()
+	s.polled()
+	s.Vetted()
+	n := 1
+	for n > 0 { // finding: unbounded, compound, never polls
+		n = s.step()
+	}
+}
+
+// drain loops over nested per-iteration work without polling: finding.
+func (s *server) drain() {
+	for s.pending() { // finding: unbounded, nested, never polls
+		for i := range s.buf {
+			s.buf[i] = 0
+		}
+	}
+}
+
+// polled checks the done channel every iteration: clean.
+func (s *server) polled() {
+	for s.pending() {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		s.step()
+	}
+}
+
+// Vetted spins without polling but is pinned in ctxLoopAllowlist:
+// clean.
+func (s *server) Vetted() {
+	for s.pending() {
+		s.step()
+	}
+}
+
+// step does one bounded sweep (three-clause loop): clean.
+func (s *server) step() int {
+	n := 0
+	for i := 0; i < len(s.buf); i++ {
+		n += s.buf[i]
+	}
+	return n
+}
+
+func (s *server) pending() bool { return len(s.buf) > 0 }

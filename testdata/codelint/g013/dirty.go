@@ -1,0 +1,42 @@
+// Package g013 is a codelint fixture: engine-output purity (rule G013).
+// Register's route literal makes score reachable from the handler
+// wiring, so its reads of mutable package state (hits) and of the
+// process environment are findings. limit (written nowhere outside its
+// initializer) and scratch (vetted in mutableStateAllowlist) must stay
+// clean.
+package g013
+
+import "os"
+
+// hits is written by a reachable function, so it is mutable state.
+var hits int
+
+// limit is never written outside its initializer: reads are clean.
+var limit = 8
+
+// scratch is mutable but vetted in mutableStateAllowlist: clean.
+var scratch []int
+
+// mount records one route the way serve wires its endpoints.
+func mount(route string, h func(int) int) map[string]func(int) int {
+	return map[string]func(int) int{route: h}
+}
+
+// Register wires the fixture's single handler.
+func Register() map[string]func(int) int {
+	return mount("/v1/score", score)
+}
+
+// score folds state outside the cache key into its result: findings.
+func score(n int) int {
+	hits++                             // finding: write-and-read of mutable package state
+	if os.Getenv("SCORE_MODE") != "" { // finding: environment read
+		n++
+	}
+	if n > limit { // clean: immutable after init
+		n = limit
+	}
+	scratch = scratch[:0] // clean: vetted scratch buffer
+	scratch = append(scratch, n)
+	return n + scratch[0] + hits // finding: mutable-state read
+}
