@@ -1,0 +1,379 @@
+// Command loadgen drives a running serve instance with synthetic
+// engine requests and reports throughput and latency percentiles per
+// concurrency level. It is the measurement half of the async-jobs
+// story: sweeping concurrency past the worker pool and job queue shows
+// where the server starts shedding load with 429s instead of stalling
+// requests.
+//
+// Each request posts a generated circuit ("dag:gates=N,seed=S") to one
+// engine endpoint, cycling through -seeds distinct seeds — one seed
+// exercises the warmed result cache, many seeds force engine runs. A
+// -async fraction of the requests submit with "mode":"async" and then
+// follow the job's events stream to its terminal state, so an async
+// request's latency spans submission through completion, exactly like
+// a sync request's. Submissions refused with 429 (full job queue) are
+// counted separately from errors: back-pressure is the bounded queue
+// working, not a failure.
+//
+// Output is a text table by default, or the canonical JSON document
+// with -json. Exit codes follow the internal/cli contract: 0 when the
+// sweep ran (however the server behaved), 1 when any request failed
+// outright (transport error, 5xx, or a job that did not finish), 2 on
+// bad flags.
+//
+// Examples:
+//
+//	loadgen -url http://localhost:8080
+//	loadgen -url http://localhost:8080 -concurrency 1,8,64 -async 1 -seeds 64
+//	loadgen -url http://localhost:8080 -endpoint /v1/faultsim -options '{"patterns":4096}' -json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.url, "url", "", "base URL of the serve instance (required, e.g. http://localhost:8080)")
+	flag.StringVar(&cfg.endpoint, "endpoint", "/v1/plan", "engine endpoint to load (/v1/plan, /v1/faultsim, /v1/atpg)")
+	flag.StringVar(&cfg.options, "options", "", `JSON "options" object per request (default: per-endpoint canonical options)`)
+	flag.IntVar(&cfg.gates, "gates", 120, "generated circuit size per request")
+	flag.IntVar(&cfg.seeds, "seeds", 16, "distinct generator seeds cycled across requests (1 = fully cached after warmup)")
+	flag.IntVar(&cfg.requests, "requests", 100, "requests per concurrency level")
+	flag.StringVar(&cfg.concurrency, "concurrency", "1,4,16", "comma-separated concurrency sweep")
+	flag.Float64Var(&cfg.asyncFrac, "async", 0, "fraction of requests submitted as async jobs (0..1)")
+	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "per-request client deadline (covers an async job's whole events stream)")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the JSON report instead of the text table")
+	flag.Parse()
+
+	failed, err := run(os.Stdout, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(cli.ExitCode(err))
+	}
+	if failed {
+		os.Exit(cli.ExitFailure)
+	}
+}
+
+// config gathers one invocation's settings.
+type config struct {
+	url         string
+	endpoint    string
+	options     string
+	gates       int
+	seeds       int
+	requests    int
+	concurrency string
+	asyncFrac   float64
+	timeout     time.Duration
+	jsonOut     bool
+}
+
+// levels parses the -concurrency sweep.
+func (c config) levels() ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(c.concurrency, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, cli.Usage(fmt.Errorf("-concurrency must be positive integers (got %q)", part))
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// validate rejects configurations the sweep cannot run with; the
+// errors carry the usage exit code (2) through cli.ExitCode.
+func (c config) validate() error {
+	switch {
+	case c.url == "":
+		return cli.Usage(errors.New("-url is required"))
+	case !strings.HasPrefix(c.endpoint, "/"):
+		return cli.Usage(fmt.Errorf("-endpoint must start with / (got %q)", c.endpoint))
+	case c.gates <= 0:
+		return cli.Usage(fmt.Errorf("-gates must be positive (got %d)", c.gates))
+	case c.seeds <= 0:
+		return cli.Usage(fmt.Errorf("-seeds must be positive (got %d)", c.seeds))
+	case c.requests <= 0:
+		return cli.Usage(fmt.Errorf("-requests must be positive (got %d)", c.requests))
+	case c.asyncFrac < 0 || c.asyncFrac > 1:
+		return cli.Usage(fmt.Errorf("-async must be in [0,1] (got %g)", c.asyncFrac))
+	case c.timeout <= 0:
+		return cli.Usage(fmt.Errorf("-timeout must be positive (got %v)", c.timeout))
+	}
+	if c.options != "" && !json.Valid([]byte(c.options)) {
+		return cli.Usage(fmt.Errorf("-options is not valid JSON: %q", c.options))
+	}
+	return nil
+}
+
+// defaultOptions are the canonical per-endpoint request options used
+// when -options is empty, chosen to match the committed benchmark
+// workloads.
+func defaultOptions(endpoint string) string {
+	switch endpoint {
+	case "/v1/plan":
+		return `{"planner":"observe"}`
+	case "/v1/faultsim":
+		return `{"patterns":1024}`
+	default:
+		return "{}"
+	}
+}
+
+// report is the canonical JSON document loadgen emits.
+type report struct {
+	Schema   string        `json:"schema"`
+	Target   string        `json:"target"`
+	Endpoint string        `json:"endpoint"`
+	Gates    int           `json:"gates"`
+	Seeds    int           `json:"seeds"`
+	Async    float64       `json:"async_fraction"`
+	Levels   []levelResult `json:"levels"`
+}
+
+// schemaName versions the report document.
+const schemaName = "repro/loadgen/v1"
+
+// levelResult is one concurrency level's measurements. Rejected counts
+// 429 submissions (bounded-queue back-pressure); Errors counts real
+// failures — transport errors, unexpected statuses, jobs that ended in
+// any state but done.
+type levelResult struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Rejected    int     `json:"rejected_429"`
+	Errors      int     `json:"errors"`
+	WallMS      float64 `json:"wall_ms"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+}
+
+// run executes the sweep and reports whether any request failed.
+func run(stdout io.Writer, cfg config) (failed bool, err error) {
+	if err := cfg.validate(); err != nil {
+		return false, err
+	}
+	levels, err := cfg.levels()
+	if err != nil {
+		return false, err
+	}
+	opts := cfg.options
+	if opts == "" {
+		opts = defaultOptions(cfg.endpoint)
+	}
+	client := &http.Client{Timeout: cfg.timeout}
+	rep := report{
+		Schema:   schemaName,
+		Target:   strings.TrimSuffix(cfg.url, "/"),
+		Endpoint: cfg.endpoint,
+		Gates:    cfg.gates,
+		Seeds:    cfg.seeds,
+		Async:    cfg.asyncFrac,
+	}
+	for _, level := range levels {
+		res := runLevel(client, cfg, rep.Target, opts, level)
+		rep.Levels = append(rep.Levels, res)
+		if res.Errors > 0 {
+			failed = true
+		}
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return failed, enc.Encode(rep)
+	}
+	return failed, writeTable(stdout, rep)
+}
+
+// runLevel fires cfg.requests requests at the target with the given
+// number of concurrent clients and aggregates the outcome.
+func runLevel(client *http.Client, cfg config, target, opts string, concurrency int) levelResult {
+	type outcome struct {
+		latency  time.Duration
+		rejected bool
+		err      error
+	}
+	outcomes := make([]outcome, cfg.requests)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= cfg.requests {
+					return
+				}
+				// Deterministic async/sync interleaving: request i is async
+				// when its slot in a 100-wide cycle falls under the fraction.
+				async := float64(i%100) < cfg.asyncFrac*100
+				body := fmt.Sprintf(`{"generate":"dag:gates=%d,seed=%d","options":%s`,
+					cfg.gates, i%cfg.seeds+1, opts)
+				if async {
+					body += `,"mode":"async"}`
+				} else {
+					body += "}"
+				}
+				t0 := time.Now()
+				rejected, err := oneRequest(client, target, cfg.endpoint, body, async)
+				outcomes[i] = outcome{latency: time.Since(t0), rejected: rejected, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := levelResult{Concurrency: concurrency, Requests: cfg.requests, WallMS: ms(wall)}
+	var lat []time.Duration
+	for _, o := range outcomes {
+		switch {
+		case o.err != nil:
+			res.Errors++
+		case o.rejected:
+			res.Rejected++
+		default:
+			res.OK++
+			lat = append(lat, o.latency)
+		}
+	}
+	res.ReqPerSec = float64(cfg.requests) / wall.Seconds()
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		res.P50MS = ms(percentile(lat, 50))
+		res.P95MS = ms(percentile(lat, 95))
+		res.P99MS = ms(percentile(lat, 99))
+		res.MaxMS = ms(lat[len(lat)-1])
+	}
+	return res
+}
+
+// oneRequest executes a single sync request or a full async
+// submit-and-follow cycle. It reports rejected=true for a 429 and an
+// error for anything that is not a completed engine run.
+func oneRequest(client *http.Client, target, endpoint, body string, async bool) (rejected bool, err error) {
+	resp, err := client.Post(target+endpoint, "application/json", strings.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	if !async {
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return false, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return false, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return false, nil
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return false, fmt.Errorf("async submit: status %d", resp.StatusCode)
+	}
+	var sub struct {
+		Job struct {
+			ID string `json:"id"`
+		} `json:"job"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	_ = resp.Body.Close()
+	if err != nil {
+		return false, fmt.Errorf("async submit: %w", err)
+	}
+	return false, followJob(client, target, sub.Job.ID)
+}
+
+// followJob streams the job's events until its terminal snapshot and
+// requires it to be done.
+func followJob(client *http.Client, target, id string) error {
+	resp, err := client.Get(target + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("events: status %d", resp.StatusCode)
+	}
+	var last struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if last.State != "done" {
+		return fmt.Errorf("job %s ended %q (%s), want done", id, last.State, last.Error)
+	}
+	return nil
+}
+
+// percentile picks from sorted latencies with the nearest-rank method.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+// ms renders a duration in milliseconds.
+func ms(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// writeTable renders the sweep as the human-readable table.
+func writeTable(w io.Writer, rep report) error {
+	if _, err := fmt.Fprintf(w, "loadgen %s%s gates=%d seeds=%d async=%.2f\n",
+		rep.Target, rep.Endpoint, rep.Gates, rep.Seeds, rep.Async); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-6s %-5s %-5s %-5s %-5s %9s %9s %9s %9s %9s\n",
+		"conc", "n", "ok", "429", "err", "req/s", "p50ms", "p95ms", "p99ms", "maxms"); err != nil {
+		return err
+	}
+	for _, l := range rep.Levels {
+		if _, err := fmt.Fprintf(w, "%-6d %-5d %-5d %-5d %-5d %9.1f %9.2f %9.2f %9.2f %9.2f\n",
+			l.Concurrency, l.Requests, l.OK, l.Rejected, l.Errors,
+			l.ReqPerSec, l.P50MS, l.P95MS, l.P99MS, l.MaxMS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

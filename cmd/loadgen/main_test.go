@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+// testServer spins an in-process serve instance for the sweep to hit.
+func testServer(t *testing.T, cfg serve.Config) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// baseConfig returns a small, fast sweep against the given URL.
+func baseConfig(url string) config {
+	return config{
+		url:         url,
+		endpoint:    "/v1/plan",
+		gates:       60,
+		seeds:       4,
+		requests:    12,
+		concurrency: "2",
+		timeout:     2 * time.Minute,
+	}
+}
+
+func TestSweepSyncAndAsyncMix(t *testing.T) {
+	ts := testServer(t, serve.Config{})
+	cfg := baseConfig(ts.URL)
+	cfg.concurrency = "1,3"
+	cfg.asyncFrac = 0.5
+	cfg.jsonOut = true
+
+	var out bytes.Buffer
+	failed, err := run(&out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("sweep reported failures:\n%s", out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not the JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Schema != schemaName {
+		t.Errorf("schema = %q, want %q", rep.Schema, schemaName)
+	}
+	if len(rep.Levels) != 2 {
+		t.Fatalf("got %d levels, want 2", len(rep.Levels))
+	}
+	for _, l := range rep.Levels {
+		if l.OK != cfg.requests || l.Errors != 0 || l.Rejected != 0 {
+			t.Errorf("level %d: ok=%d rejected=%d errors=%d, want all %d ok",
+				l.Concurrency, l.OK, l.Rejected, l.Errors, cfg.requests)
+		}
+		if l.ReqPerSec <= 0 || l.P50MS <= 0 || l.P99MS < l.P50MS || l.MaxMS < l.P99MS {
+			t.Errorf("level %d: implausible stats %+v", l.Concurrency, l)
+		}
+	}
+}
+
+func TestSweepTextTable(t *testing.T) {
+	ts := testServer(t, serve.Config{})
+	cfg := baseConfig(ts.URL)
+	cfg.requests = 4
+
+	var out bytes.Buffer
+	failed, err := run(&out, cfg)
+	if err != nil || failed {
+		t.Fatalf("run: failed=%v err=%v", failed, err)
+	}
+	text := out.String()
+	for _, want := range []string{"conc", "req/s", "p99ms", "/v1/plan"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestAsyncSaturationGets429 pins the acceptance story end to end: an
+// all-async burst against one worker and a one-slot queue is partly
+// refused with fast 429s — counted as back-pressure, not errors — while
+// every accepted job still completes.
+func TestAsyncSaturationGets429(t *testing.T) {
+	ts := testServer(t, serve.Config{Workers: 1, JobQueue: 1})
+	cfg := baseConfig(ts.URL)
+	cfg.endpoint = "/v1/faultsim"
+	// Heavy enough that the first job is still running when the rest of
+	// the burst arrives, so the queue genuinely fills.
+	cfg.options = `{"patterns":32768,"keep_faults":true,"full_universe":true}`
+	cfg.gates = 300
+	cfg.seeds = 6
+	cfg.requests = 6
+	cfg.concurrency = "6"
+	cfg.asyncFrac = 1
+	cfg.jsonOut = true
+
+	var out bytes.Buffer
+	failed, err := run(&out, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("saturation sweep reported hard failures:\n%s", out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	l := rep.Levels[0]
+	if l.Errors != 0 {
+		t.Errorf("burst produced %d hard errors, want 0 (429s must not count as errors)", l.Errors)
+	}
+	if l.Rejected == 0 {
+		t.Error("burst past saturation produced no 429s; the bounded queue did not push back")
+	}
+	if l.OK == 0 {
+		t.Error("no accepted job completed")
+	}
+	if l.OK+l.Rejected != cfg.requests {
+		t.Errorf("ok(%d)+rejected(%d) != %d requests", l.OK, l.Rejected, cfg.requests)
+	}
+}
+
+func TestValidateRejectsBadFlags(t *testing.T) {
+	for name, mutate := range map[string]func(*config){
+		"missing url":       func(c *config) { c.url = "" },
+		"bad endpoint":      func(c *config) { c.endpoint = "v1/plan" },
+		"zero gates":        func(c *config) { c.gates = 0 },
+		"zero seeds":        func(c *config) { c.seeds = 0 },
+		"zero requests":     func(c *config) { c.requests = 0 },
+		"async over 1":      func(c *config) { c.asyncFrac = 1.5 },
+		"negative async":    func(c *config) { c.asyncFrac = -0.1 },
+		"zero timeout":      func(c *config) { c.timeout = 0 },
+		"bad options json":  func(c *config) { c.options = "{planner" },
+		"bad concurrency":   func(c *config) { c.concurrency = "1,x" },
+		"zero concurrency":  func(c *config) { c.concurrency = "0" },
+		"empty concurrency": func(c *config) { c.concurrency = "" },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig("http://localhost:0")
+			mutate(&cfg)
+			var out bytes.Buffer
+			_, err := run(&out, cfg)
+			if err == nil {
+				t.Fatal("bad config accepted")
+			}
+			if cli.ExitCode(err) != cli.ExitUsage {
+				t.Errorf("exit code %d, want %d (usage): %v", cli.ExitCode(err), cli.ExitUsage, err)
+			}
+		})
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    int
+		want time.Duration
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}} {
+		if got := percentile(lat, tc.p); got != tc.want {
+			t.Errorf("p%d = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile([]time.Duration{42}, 99); got != 42 {
+		t.Errorf("single-sample p99 = %d, want 42", got)
+	}
+}

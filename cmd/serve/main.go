@@ -4,13 +4,22 @@
 // Endpoints (all engine endpoints are POST with a JSON body carrying
 // either inline "bench" text or a "generate" spec, plus "options"):
 //
-//	POST /v1/plan      test point planning (cuts | observe | control | hybrid)
-//	POST /v1/faultsim  bit-parallel fault simulation
-//	POST /v1/atpg      PODEM deterministic test generation
-//	POST /v1/lint      netlist static analysis
-//	GET  /healthz      liveness probe
-//	GET  /v1/stats     request, cache, and pool counters
-//	GET  /debug/vars   the same counters via expvar
+//	POST   /v1/plan             test point planning (cuts | observe | control | hybrid)
+//	POST   /v1/faultsim         bit-parallel fault simulation
+//	POST   /v1/atpg             PODEM deterministic test generation
+//	POST   /v1/lint             netlist static analysis
+//	GET    /v1/jobs             list async jobs
+//	GET    /v1/jobs/{id}        job status, progress, and result when done
+//	GET    /v1/jobs/{id}/events stream job snapshots as JSON lines
+//	DELETE /v1/jobs/{id}        cancel a job cooperatively
+//	GET    /healthz             liveness probe
+//	GET    /v1/stats            request, cache, pool, and job counters
+//	GET    /debug/vars          the same counters via expvar
+//
+// Engine requests with "mode":"async" (or a Prefer: respond-async
+// header) are accepted with 202 and a job ID instead of being answered
+// in the request; with -job-dir set, jobs persist across restarts and
+// interrupted ones are re-queued on startup.
 //
 // Results are cached content-addressed (SHA-256 of the canonicalized
 // netlist and options), so repeated identical requests are served
@@ -49,6 +58,11 @@ func main() {
 	flag.Int64Var(&cfg.maxBody, "max-body", 8<<20, "max request body bytes")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "opt-in pprof/expvar listener on a separate address (bind to localhost; never expose publicly)")
+	flag.StringVar(&cfg.jobDir, "job-dir", "", "persistent async job store directory (empty = in-memory jobs that do not survive restarts)")
+	flag.IntVar(&cfg.jobQueue, "job-queue", 64, "max queued async jobs before submissions get 429")
+	flag.IntVar(&cfg.maxJobs, "max-jobs", 1024, "max retained async jobs before the oldest finished ones are garbage-collected")
+	flag.DurationVar(&cfg.jobRetention, "job-retention", time.Hour, "how long finished async jobs stay queryable")
+	flag.DurationVar(&cfg.jobTimeout, "job-timeout", 10*time.Minute, "per-job execution deadline, independent of -request-timeout")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -66,6 +80,11 @@ type config struct {
 	maxBody        int64
 	drainTimeout   time.Duration
 	debugAddr      string
+	jobDir         string
+	jobQueue       int
+	maxJobs        int
+	jobRetention   time.Duration
+	jobTimeout     time.Duration
 }
 
 // validate rejects configurations the server cannot run with; the
@@ -86,6 +105,14 @@ func (c config) validate() error {
 		return cli.Usage(fmt.Errorf("-drain-timeout must be positive (got %v)", c.drainTimeout))
 	case c.debugAddr != "" && c.debugAddr == c.addr:
 		return cli.Usage(fmt.Errorf("-debug-addr must differ from -addr (both %q): the profiling listener must never share the public socket", c.addr))
+	case c.jobQueue <= 0:
+		return cli.Usage(fmt.Errorf("-job-queue must be positive (got %d)", c.jobQueue))
+	case c.maxJobs <= 0:
+		return cli.Usage(fmt.Errorf("-max-jobs must be positive (got %d)", c.maxJobs))
+	case c.jobRetention <= 0:
+		return cli.Usage(fmt.Errorf("-job-retention must be positive (got %v)", c.jobRetention))
+	case c.jobTimeout <= 0:
+		return cli.Usage(fmt.Errorf("-job-timeout must be positive (got %v)", c.jobTimeout))
 	}
 	return nil
 }
@@ -109,12 +136,20 @@ func run(cfg config) error {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
-	s := serve.New(serve.Config{
+	s, err := serve.New(serve.Config{
 		Workers:        cfg.workers,
 		CacheBytes:     cfg.cacheBytes,
 		RequestTimeout: cfg.requestTimeout,
 		MaxBody:        cfg.maxBody,
+		JobDir:         cfg.jobDir,
+		JobQueue:       cfg.jobQueue,
+		MaxJobs:        cfg.maxJobs,
+		JobRetention:   cfg.jobRetention,
+		JobTimeout:     cfg.jobTimeout,
 	})
+	if err != nil {
+		return err
+	}
 	s.PublishExpvar()
 
 	mux := http.NewServeMux()
@@ -161,5 +196,9 @@ func run(cfg config) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// Stop the job scheduler after the listener drains. Jobs cut off
+	// mid-run keep a running-state journal and are re-queued by the next
+	// process on the same -job-dir.
+	s.Close()
 	return nil
 }

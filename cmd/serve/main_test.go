@@ -20,6 +20,10 @@ func goodConfig() config {
 		requestTimeout: time.Second,
 		maxBody:        1 << 20,
 		drainTimeout:   time.Second,
+		jobQueue:       64,
+		maxJobs:        1024,
+		jobRetention:   time.Hour,
+		jobTimeout:     10 * time.Minute,
 	}
 }
 
@@ -39,6 +43,10 @@ func TestValidateRejectsBadConfig(t *testing.T) {
 		{"zero max body", func(c *config) { c.maxBody = 0 }, "-max-body"},
 		{"negative drain", func(c *config) { c.drainTimeout = -time.Second }, "-drain-timeout"},
 		{"debug addr shadows public addr", func(c *config) { c.addr = ":8080"; c.debugAddr = ":8080" }, "-debug-addr"},
+		{"zero job queue", func(c *config) { c.jobQueue = 0 }, "-job-queue"},
+		{"zero max jobs", func(c *config) { c.maxJobs = 0 }, "-max-jobs"},
+		{"negative retention", func(c *config) { c.jobRetention = -time.Hour }, "-job-retention"},
+		{"zero job timeout", func(c *config) { c.jobTimeout = 0 }, "-job-timeout"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

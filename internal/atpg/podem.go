@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/implic"
 	"repro/internal/netlist"
+	"repro/internal/progress"
 )
 
 // Value is a three-valued logic level for one circuit copy (good or
@@ -568,14 +569,20 @@ func GenerateTests(c *netlist.Circuit, faults []fault.Fault, opts Options) (*Tes
 // GenerateTestsContext is GenerateTests with cancellation: the context is
 // checked between per-fault PODEM runs and inside each run's decision
 // loop. On cancellation the partial TestSet built so far (every vector in
-// it is a complete, valid test) is returned alongside ctx.Err().
+// it is a complete, valid test) is returned alongside ctx.Err(). When
+// ctx carries a progress.Func, one "faults" sample is emitted before
+// each PODEM run, counting faults already resolved.
 func GenerateTestsContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, opts Options) (*TestSet, error) {
 	if len(faults) == 0 {
 		return nil, ErrNoFaults
 	}
 	ts := &TestSet{}
+	report := progress.FromContext(ctx)
 	remaining := append([]fault.Fault(nil), faults...)
 	for len(remaining) > 0 {
+		if report != nil {
+			report("faults", int64(len(faults)-len(remaining)), int64(len(faults)))
+		}
 		target := remaining[0]
 		res, err := GenerateContext(ctx, c, target, opts)
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

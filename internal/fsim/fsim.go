@@ -16,6 +16,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/pattern"
+	"repro/internal/progress"
 )
 
 // Options controls a fault simulation run.
@@ -250,7 +251,8 @@ func Run(c *netlist.Circuit, faults []fault.Fault, src pattern.Source, opts Opti
 // within one batch of work. On cancellation the partial Result
 // accumulated over the completed blocks is returned alongside ctx.Err();
 // every FirstDetect entry in it is valid (detection indices never depend
-// on the faults not yet simulated).
+// on the faults not yet simulated). When ctx carries a progress.Func,
+// one "patterns" sample is emitted per block at the same granularity.
 func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, src pattern.Source, opts Options) (*Result, error) {
 	if opts.MaxPatterns <= 0 {
 		opts.MaxPatterns = 32768
@@ -276,8 +278,11 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, s
 
 	// ctx.Done() is nil for context.Background(), so the polls below
 	// compile to a never-ready select arm and cost nothing on the
-	// non-cancellable path.
+	// non-cancellable path. The progress reporter is hoisted here so the
+	// measured loop performs a nil check per block, never a context
+	// lookup.
 	done := ctx.Done()
+	report := progress.FromContext(ctx)
 	words := make([]uint64, c.NumInputs())
 	base := 0
 	for base < opts.MaxPatterns && len(active) > 0 {
@@ -286,6 +291,9 @@ func RunContext(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, s
 			res.Patterns = base
 			return res, ctx.Err()
 		default:
+		}
+		if report != nil {
+			report("patterns", int64(base), int64(opts.MaxPatterns))
 		}
 		n := src.FillBlock(words)
 		if n == 0 {

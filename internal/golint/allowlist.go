@@ -147,6 +147,39 @@ func hotAllocAllowed(pkgPath, fn string) bool {
 	return false
 }
 
+// goroutineAllowlist vets spawner functions whose goroutines are
+// joined by *another* method of the same type (G008). The per-spawn
+// analysis only trusts a join it can see in the spawning function —
+// a constructor that starts workers and hands the wg.Wait to a Close
+// method is invisible to it by design. Every entry must name the join
+// owner and the test that pins the join actually happening; the
+// self-check test pins this table.
+var goroutineAllowlist = []struct {
+	pkg, fn, why string
+}{
+	// The job manager's constructor starts the worker pool and the GC
+	// loop; both call m.wg.Done and Close joins them with m.wg.Wait.
+	// jobs.TestCloseJoinsWorkers pins that Close really waits.
+	{"internal/jobs", "New",
+		"workers and the GC loop are joined by Close via m.wg.Wait; pinned by TestCloseJoinsWorkers"},
+	// The fixture entry proves a listed spawner goes quiet while its
+	// unlisted neighbors still fire.
+	{"testdata/codelint/g008", "Vetted",
+		"fixture: vetted constructor-shaped spawn joined elsewhere"},
+}
+
+// goroutineJoinAllowed reports whether the function's spawns are
+// vetted for G008's join check. The context and loop-variable checks
+// still apply to listed functions — only the join is waived.
+func goroutineJoinAllowed(pkgPath, fn string) bool {
+	for _, e := range goroutineAllowlist {
+		if e.fn == fn && pathMatchesAny(pkgPath, []string{e.pkg}) {
+			return true
+		}
+	}
+	return false
+}
+
 // engineCallPackages are the packages whose entry points run engine
 // work: calling into them while holding a mutex serializes the engines
 // behind the lock (G009). The testdata entry is exercised by the g009

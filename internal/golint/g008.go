@@ -22,6 +22,11 @@ import (
 // variables per iteration: passing the variable as an argument is the
 // repo's explicitness contract (fsim's worker index w), and the rule is
 // what keeps it uniform.
+//
+// goroutineAllowlist (allowlist.go) vets the one shape the same-
+// function analysis cannot see: a constructor that starts workers and
+// hands the wg.Wait to a Close method. Listed functions skip only the
+// join check; context and loop-variable discipline still apply.
 
 func analyzerG008() *Analyzer {
 	return &Analyzer{
@@ -59,7 +64,12 @@ func checkGoStmt(p *Pass, info *types.Info, fd *ast.FuncDecl, g *ast.GoStmt, sta
 	lit, isClosure := g.Call.Fun.(*ast.FuncLit)
 
 	// Join: the spawn must signal completion in a way fd observes.
-	if !isClosure {
+	// goroutineAllowlist waives this check (only this check) for
+	// vetted constructor-shaped spawners whose join lives in another
+	// method.
+	if goroutineJoinAllowed(p.Pkg.Path, fd.Name.Name) {
+		// fall through to the context and loop-variable checks
+	} else if !isClosure {
 		// A named-function spawn hides its signalling (if any) in another
 		// body the per-spawn analysis does not chase; the repo's shape is
 		// a closure that owns its Done/send, so require it.

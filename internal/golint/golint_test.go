@@ -203,7 +203,7 @@ func TestCleanShapesStayClean(t *testing.T) {
 		"g005": {21, 29}, // WrapWell, CleanupRecorded
 		"g006": {6, 7},   // Threshold (documented with the leading name)
 		"g007": {34, 44}, // warmup, Warm (hotAllocAllowlist entry)
-		"g008": {47, 62}, // Joined (wg-joined, ctx-observing, arg-passing)
+		"g008": {47, 74}, // Joined (wg-joined, ctx-observing, arg-passing), Vetted (goroutineAllowlist entry)
 		"g009": {45, 50}, // Bump (lock/defer-unlock critical section)
 		"g010": {38, 68}, // Guarded, Sharded
 		"g011": {30, 60}, // mount, Register, parseThing, buildOpts, runThing

@@ -1,6 +1,7 @@
 package golint
 
 import (
+	"go/ast"
 	"testing"
 )
 
@@ -156,6 +157,72 @@ func TestHotAllocAllowlistLoadBearing(t *testing.T) {
 	}
 	if covered < 2 {
 		t.Errorf("only %d allowlisted tpi functions still hold allocation sites; prune the stale entries", covered)
+	}
+}
+
+// TestGoroutineAllowlistPinned pins the G008 join waivers: the only
+// vetted constructor-shaped spawner in the tree is the job manager's
+// New, and every entry must carry a justification naming where the
+// join lives.
+func TestGoroutineAllowlistPinned(t *testing.T) {
+	want := map[string]bool{
+		"internal/jobs.New":             true,
+		"testdata/codelint/g008.Vetted": true,
+	}
+	if len(goroutineAllowlist) != len(want) {
+		t.Errorf("goroutineAllowlist has %d entries, want %d — update this pin together with the table", len(goroutineAllowlist), len(want))
+	}
+	for _, e := range goroutineAllowlist {
+		if !want[e.pkg+"."+e.fn] {
+			t.Errorf("unexpected allowlist entry %s.%s", e.pkg, e.fn)
+		}
+		if e.why == "" {
+			t.Errorf("allowlist entry %s.%s carries no justification", e.pkg, e.fn)
+		}
+	}
+	if goroutineJoinAllowed("repro/internal/serve", "New") {
+		t.Error("serve's constructor spawns nothing; the waiver must not leak onto it")
+	}
+}
+
+// TestGoroutineAllowlistLoadBearing runs G008 on internal/jobs and
+// asserts the entry both silences the package and still covers live
+// spawns inside New — a stale entry fails here and gets removed. The
+// join it waives is itself pinned by jobs.TestCloseJoinsWorkers.
+func TestGoroutineAllowlistLoadBearing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks jobs")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("repro/internal/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(l, pkgs, Analyzers())
+	if n := len(rep.ByRule(RuleGoroutineDiscipline)); n != 0 {
+		t.Errorf("jobs: %d G008 findings despite allowlist:\n%v", n, rep.ByRule(RuleGoroutineDiscipline))
+	}
+	// Bypass the allowlist: New must still contain the spawns the entry
+	// vets, proving it covers live code.
+	spawns := 0
+	for _, file := range pkgs[0].Files {
+		for _, fd := range funcDecls(file) {
+			if fd.Name.Name != "New" || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.GoStmt); ok {
+					spawns++
+				}
+				return true
+			})
+		}
+	}
+	if spawns == 0 {
+		t.Error("jobs.New no longer spawns goroutines; prune its goroutineAllowlist entry")
 	}
 }
 

@@ -1,0 +1,201 @@
+// Package jobs is the persistent asynchronous job subsystem behind the
+// serving layer's 202-Accepted API: submitted engine requests become
+// durable jobs that survive process restarts, report monotonic
+// progress while running, and can be cancelled cooperatively through
+// the contexts already threaded into every engine.
+//
+// The pieces:
+//
+//   - a job model (job.go): a job is one engine invocation identified
+//     by the content-addressed cache key of its request plus a
+//     per-submission nonce, moving through the state machine
+//     queued → running → done|failed|canceled;
+//   - an on-disk store (store.go): one append-only JSON-lines journal
+//     per job plus an atomic-rename result blob, replayed on startup —
+//     jobs that were queued or running when the process died are
+//     re-queued, a truncated final journal line is tolerated, and a
+//     corrupted journal marks the job failed instead of wedging it;
+//   - a bounded scheduler (manager.go): a fixed worker set drains a
+//     depth-limited queue (submissions beyond the limit fail fast with
+//     ErrQueueFull, which the serving layer maps to 429), each job
+//     runs under its own deadline independent of any HTTP request, and
+//     terminal jobs are garbage-collected by age and count.
+//
+// The subsystem never runs engines itself: the Runner callback —
+// internal/serve's cache-and-pool execution path — does, so identical
+// concurrent jobs deduplicate to a single engine run through the same
+// single-flight cache the synchronous endpoints use.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The job state machine: Queued → Running → Done | Failed | Canceled.
+// A queued job may also move directly to Canceled.
+const (
+	// Queued means the job is accepted, journaled, and waiting for a
+	// scheduler worker.
+	Queued State = "queued"
+	// Running means a worker is executing the job's engine request.
+	Running State = "running"
+	// Done means the job finished and its result blob is readable.
+	Done State = "done"
+	// Failed means the engine returned an error, the per-job deadline
+	// expired, or the journal could not be replayed after a crash.
+	Failed State = "failed"
+	// Canceled means a DELETE cancelled the job before or during its
+	// run.
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Canceled
+}
+
+// valid reports whether s is one of the five defined states (used when
+// replaying journals, whose bytes come from disk, not from this
+// process).
+func (s State) valid() bool {
+	switch s {
+	case Queued, Running, Done, Failed, Canceled:
+		return true
+	}
+	return false
+}
+
+// Progress is one monotonic progress sample: done out of total units
+// of the named stage. Engines emit samples at their cancellation-poll
+// granularity; the manager clamps regressions so done never decreases
+// within a stage.
+type Progress struct {
+	// Stage names the unit of work ("patterns", "faults", ...).
+	Stage string `json:"stage"`
+	// Done counts completed units of the stage.
+	Done int64 `json:"done"`
+	// Total is the known bound for the stage (0 when unknown).
+	Total int64 `json:"total"`
+}
+
+// Spec is the replayable description of a job's work, handed to the
+// Runner. Request is the original request envelope; Key is the
+// content-addressed cache key the synchronous path would use, so the
+// Runner can deduplicate identical jobs through the result cache.
+type Spec struct {
+	// ID is the job identifier.
+	ID string
+	// Endpoint is the engine endpoint the job targets ("/v1/plan", ...).
+	Endpoint string
+	// Key is the content-addressed cache key of the request.
+	Key string
+	// Request is the raw request envelope as submitted.
+	Request []byte
+}
+
+// Snapshot is the exported, JSON-ready view of one job at a point in
+// time.
+type Snapshot struct {
+	// ID identifies the job.
+	ID string `json:"id"`
+	// Endpoint is the engine endpoint the job targets.
+	Endpoint string `json:"endpoint"`
+	// State is the current lifecycle state.
+	State State `json:"state"`
+	// Progress is the latest progress sample, when the job has emitted
+	// one.
+	Progress *Progress `json:"progress,omitempty"`
+	// Error carries the failure reason for failed jobs.
+	Error string `json:"error,omitempty"`
+	// CreatedUnixMS/StartedUnixMS/FinishedUnixMS timestamp the state
+	// transitions (Unix milliseconds; zero when not reached).
+	CreatedUnixMS  int64 `json:"created_unix_ms"`
+	StartedUnixMS  int64 `json:"started_unix_ms,omitempty"`
+	FinishedUnixMS int64 `json:"finished_unix_ms,omitempty"`
+	// Requeued reports that the job was recovered from the journal of a
+	// previous process and queued again.
+	Requeued bool `json:"requeued,omitempty"`
+}
+
+// job is the manager's internal record, protected by the manager
+// mutex.
+type job struct {
+	id       string
+	endpoint string
+	key      string
+	request  []byte
+	deadline time.Duration
+
+	state       State
+	progress    Progress
+	hasProgress bool
+	// lastJournaled throttles progress journaling: a sample is appended
+	// only when the stage changes or done advances by a visible step.
+	lastJournaled Progress
+	errMsg        string
+	result        []byte
+
+	createdMS, startedMS, finishedMS int64
+	requeued                         bool
+
+	// cancelRequested distinguishes a cooperative DELETE from a
+	// deadline expiry or a process shutdown.
+	cancelRequested bool
+	cancel          context.CancelFunc
+
+	// watch is closed and replaced on every observable change; Watch
+	// hands it to pollers so progress streams never busy-wait.
+	watch chan struct{}
+}
+
+func (j *job) snapshot() Snapshot {
+	s := Snapshot{
+		ID:             j.id,
+		Endpoint:       j.endpoint,
+		State:          j.state,
+		Error:          j.errMsg,
+		CreatedUnixMS:  j.createdMS,
+		StartedUnixMS:  j.startedMS,
+		FinishedUnixMS: j.finishedMS,
+		Requeued:       j.requeued,
+	}
+	if j.hasProgress {
+		p := j.progress
+		s.Progress = &p
+	}
+	return s
+}
+
+// NewID derives a job identifier from the request's content-addressed
+// cache key (itself a hash of the canonical netlist and options) and a
+// per-submission nonce: identical requests submitted twice get distinct
+// jobs, while their engine runs still collapse through the cache key.
+func NewID(key, nonce string) string {
+	h := sha256.New()
+	h.Write([]byte("job\n"))
+	h.Write([]byte(key))
+	h.Write([]byte{'\n'})
+	h.Write([]byte(nonce))
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// randomNonce is the default nonce source: 8 bytes from crypto/rand.
+// (The deterministic-engine contract does not apply here — a nonce's
+// entire job is to differ between submissions — and crypto/rand has no
+// process-seeded global state to poison results with.)
+func randomNonce() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform's entropy source is
+		// broken; there is no useful fallback that keeps IDs unique.
+		panic("jobs: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

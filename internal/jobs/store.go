@@ -1,0 +1,318 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Journal file layout: every job owns <id>.jnl, a JSON-lines journal
+// whose first line is a create record and whose remaining lines are
+// state transitions and progress samples, strictly appended. A job's
+// result is a separate <id>.res blob written to a temp file, fsynced,
+// and atomically renamed into place *before* the done record is
+// journaled — so a journal that says done implies a readable result,
+// and a crash between the two leaves a running job that recovery
+// simply re-queues.
+//
+// Recovery is deliberately forgiving at the tail and strict in the
+// middle: a torn final line is what an append interrupted by SIGKILL
+// looks like, so it is ignored; garbage before the final line means
+// the file did not grow append-only and the job is marked failed
+// rather than trusted or wedged.
+
+// record is one journal line. Op selects which fields are meaningful.
+type record struct {
+	// Op is "create", "state", or "progress".
+	Op string `json:"op"`
+	// Create carries the immutable job description (op "create").
+	Create *createRecord `json:"create,omitempty"`
+	// State is the entered state (op "state").
+	State State `json:"state,omitempty"`
+	// Error is the failure reason accompanying a failed state.
+	Error string `json:"error,omitempty"`
+	// MS is the transition timestamp in Unix milliseconds (op "state").
+	MS int64 `json:"ms,omitempty"`
+	// Stage/Done/Total are the progress sample (op "progress").
+	Stage string `json:"stage,omitempty"`
+	Done  int64  `json:"done,omitempty"`
+	Total int64  `json:"total,omitempty"`
+}
+
+// createRecord is the journal's immutable job description: everything
+// needed to re-run the job after a restart.
+type createRecord struct {
+	ID         string          `json:"id"`
+	Endpoint   string          `json:"endpoint"`
+	Key        string          `json:"key"`
+	Request    json.RawMessage `json:"request"`
+	DeadlineMS int64           `json:"deadline_ms"`
+	CreatedMS  int64           `json:"created_ms"`
+}
+
+// store persists jobs under one directory. A nil *store (no -job-dir)
+// disables persistence; the manager checks before every call.
+type store struct {
+	dir    string
+	fsyncs atomic.Int64
+}
+
+// openStore creates dir if needed and returns the store.
+func openStore(dir string) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create store dir: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+func (st *store) journalPath(id string) string { return filepath.Join(st.dir, id+".jnl") }
+func (st *store) resultPath(id string) string  { return filepath.Join(st.dir, id+".res") }
+
+// appendLine marshals rec and appends it as one line to the job's
+// journal, fsyncing when sync is set (state transitions; progress
+// samples ride on the next sync).
+func (st *store) appendLine(id string, rec record, sync bool) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: marshal journal record: %w", err)
+	}
+	f, err := os.OpenFile(st.journalPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: open journal: %w", err)
+	}
+	_, werr := f.Write(append(b, '\n'))
+	var serr error
+	if sync && werr == nil {
+		serr = f.Sync()
+		if serr == nil {
+			st.fsyncs.Add(1)
+		}
+	}
+	cerr := f.Close()
+	switch {
+	case werr != nil:
+		return fmt.Errorf("jobs: append journal: %w", werr)
+	case serr != nil:
+		return fmt.Errorf("jobs: sync journal: %w", serr)
+	case cerr != nil:
+		return fmt.Errorf("jobs: close journal: %w", cerr)
+	}
+	return nil
+}
+
+// appendCreate journals the job's create record (fsynced: acceptance
+// of a 202 must survive a crash).
+func (st *store) appendCreate(j *job) error {
+	return st.appendLine(j.id, record{Op: "create", Create: &createRecord{
+		ID:         j.id,
+		Endpoint:   j.endpoint,
+		Key:        j.key,
+		Request:    json.RawMessage(j.request),
+		DeadlineMS: j.deadline.Milliseconds(),
+		CreatedMS:  j.createdMS,
+	}}, true)
+}
+
+// appendState journals a state transition (fsynced).
+func (st *store) appendState(id string, s State, errMsg string, ms int64) error {
+	return st.appendLine(id, record{Op: "state", State: s, Error: errMsg, MS: ms}, true)
+}
+
+// appendProgress journals a progress sample (not fsynced — samples are
+// advisory and the next state transition syncs the file).
+func (st *store) appendProgress(id string, p Progress) error {
+	return st.appendLine(id, record{Op: "progress", Stage: p.Stage, Done: p.Done, Total: p.Total}, false)
+}
+
+// writeResult atomically installs the job's result blob: temp file in
+// the same directory, fsync, rename. Readers either see the complete
+// blob or no file at all.
+func (st *store) writeResult(id string, val []byte) error {
+	tmp := st.resultPath(id) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: create result temp: %w", err)
+	}
+	_, werr := f.Write(val)
+	var serr error
+	if werr == nil {
+		serr = f.Sync()
+		if serr == nil {
+			st.fsyncs.Add(1)
+		}
+	}
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		_ = os.Remove(tmp)
+		if werr == nil {
+			werr = serr
+		}
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("jobs: write result: %w", werr)
+	}
+	if err := os.Rename(tmp, st.resultPath(id)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("jobs: install result: %w", err)
+	}
+	return nil
+}
+
+// readResult returns the job's result blob.
+func (st *store) readResult(id string) ([]byte, error) {
+	b, err := os.ReadFile(st.resultPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read result: %w", err)
+	}
+	return b, nil
+}
+
+// remove deletes the job's journal and result files (GC).
+func (st *store) remove(id string) error {
+	jerr := os.Remove(st.journalPath(id))
+	rerr := os.Remove(st.resultPath(id))
+	if jerr != nil && !os.IsNotExist(jerr) {
+		return fmt.Errorf("jobs: remove journal: %w", jerr)
+	}
+	if rerr != nil && !os.IsNotExist(rerr) {
+		return fmt.Errorf("jobs: remove result: %w", rerr)
+	}
+	return nil
+}
+
+// recover replays every journal in the store directory and returns the
+// reconstructed jobs sorted by creation time then ID. Jobs that were
+// queued or running are returned in state Queued with requeued set;
+// the caller re-journals and re-queues them. Corrupted journals yield
+// Failed jobs; a torn final line is silently dropped.
+func (st *store) recover(now time.Time) ([]*job, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: scan store dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".jnl") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*job
+	for _, name := range names {
+		id := strings.TrimSuffix(name, ".jnl")
+		b, err := os.ReadFile(filepath.Join(st.dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("jobs: read journal %s: %w", name, err)
+		}
+		out = append(out, st.replay(id, b, now))
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].createdMS != out[k].createdMS {
+			return out[i].createdMS < out[k].createdMS
+		}
+		return out[i].id < out[k].id
+	})
+	return out, nil
+}
+
+// replay reconstructs one job from its journal bytes.
+func (st *store) replay(id string, data []byte, now time.Time) *job {
+	j := &job{id: id, state: Queued, watch: make(chan struct{})}
+	fail := func(msg string) *job {
+		j.state = Failed
+		j.errMsg = msg
+		if j.finishedMS == 0 {
+			j.finishedMS = now.UnixMilli()
+		}
+		return j
+	}
+	lines := bytes.Split(data, []byte{'\n'})
+	// Drop the empty tail produced by the final newline, so "last line"
+	// below means the last record actually written.
+	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return fail("journal corrupted: empty file")
+	}
+	for i, line := range lines {
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				// Torn final append (crash mid-write): everything before
+				// it is intact, use it.
+				break
+			}
+			return fail("journal corrupted: unreadable record before the final line")
+		}
+		switch rec.Op {
+		case "create":
+			if i != 0 || rec.Create == nil || rec.Create.ID != id {
+				return fail("journal corrupted: misplaced or mismatched create record")
+			}
+			j.endpoint = rec.Create.Endpoint
+			j.key = rec.Create.Key
+			j.request = []byte(rec.Create.Request)
+			j.deadline = time.Duration(rec.Create.DeadlineMS) * time.Millisecond
+			j.createdMS = rec.Create.CreatedMS
+		case "state":
+			if i == 0 {
+				return fail("journal corrupted: missing create record")
+			}
+			if !rec.State.valid() {
+				return fail("journal corrupted: unknown state " + string(rec.State))
+			}
+			j.state = rec.State
+			j.errMsg = rec.Error
+			switch rec.State {
+			case Running:
+				j.startedMS = rec.MS
+			case Done, Failed, Canceled:
+				j.finishedMS = rec.MS
+			}
+		case "progress":
+			if i == 0 {
+				return fail("journal corrupted: missing create record")
+			}
+			j.progress = Progress{Stage: rec.Stage, Done: rec.Done, Total: rec.Total}
+			j.hasProgress = true
+			j.lastJournaled = j.progress
+		default:
+			return fail("journal corrupted: unknown record op " + rec.Op)
+		}
+	}
+	if j.endpoint == "" && j.state != Failed {
+		return fail("journal corrupted: no create record")
+	}
+	switch j.state {
+	case Done:
+		// The done record is only written after the result blob rename,
+		// so a missing blob means the directory was tampered with.
+		if _, err := os.Stat(st.resultPath(id)); err != nil {
+			return fail("result blob missing for completed job")
+		}
+	case Queued, Running:
+		// The process died with the job incomplete: re-queue it. Its
+		// progress restarts from the engine's next report.
+		j.state = Queued
+		j.requeued = true
+		j.startedMS = 0
+	}
+	return j
+}
+
+// Fsyncs reports how many fsyncs the store has issued (journal state
+// records and result blobs).
+func (st *store) Fsyncs() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.fsyncs.Load()
+}

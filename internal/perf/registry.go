@@ -1,10 +1,13 @@
 package perf
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"strings"
 
@@ -53,6 +56,7 @@ func Suite(short bool) []Benchmark {
 	out = append(out, atpgBenchmarks(w)...)
 	out = append(out, tpiBenchmarks(w)...)
 	out = append(out, serveBenchmarks(w)...)
+	out = append(out, jobsBenchmarks(w)...)
 	return out
 }
 
@@ -243,16 +247,23 @@ func serveBenchmarks(w workload) []Benchmark {
 		Info:   fmt.Sprintf("POST /v1/plan, %s, hybrid planner, warmed result cache", w.spec),
 		Params: map[string]string{"spec": w.spec, "planner": "hybrid", "cache": "hit"},
 		Setup: func() (func() error, func(), error) {
-			s := serve.New(serve.Config{})
+			s, err := serve.New(serve.Config{})
+			if err != nil {
+				return nil, nil, err
+			}
 			ts := httptest.NewServer(s.Handler())
 			body := fmt.Sprintf(`{"generate":%q,"options":{"planner":"hybrid"}}`, w.spec)
 			if err := post(ts.URL+"/v1/plan", body); err != nil {
 				ts.Close()
+				s.Close()
 				return nil, nil, err
 			}
 			return func() error {
-				return post(ts.URL+"/v1/plan", body)
-			}, ts.Close, nil
+					return post(ts.URL+"/v1/plan", body)
+				}, func() {
+					ts.Close()
+					s.Close()
+				}, nil
 		},
 	}
 	miss := Benchmark{
@@ -262,15 +273,133 @@ func serveBenchmarks(w workload) []Benchmark {
 		Params: map[string]string{"spec": w.spec, "planner": "observe", "cache": "miss"},
 		Setup: func() (func() error, func(), error) {
 			gates := sizeOfSpec(w.spec)
-			s := serve.New(serve.Config{})
+			s, err := serve.New(serve.Config{})
+			if err != nil {
+				return nil, nil, err
+			}
 			ts := httptest.NewServer(s.Handler())
 			seed := 0
 			return func() error {
-				seed++
-				body := fmt.Sprintf(`{"generate":"dag:gates=%d,seed=%d","options":{"planner":"observe"}}`, gates, seed)
-				return post(ts.URL+"/v1/plan", body)
-			}, ts.Close, nil
+					seed++
+					body := fmt.Sprintf(`{"generate":"dag:gates=%d,seed=%d","options":{"planner":"observe"}}`, gates, seed)
+					return post(ts.URL+"/v1/plan", body)
+				}, func() {
+					ts.Close()
+					s.Close()
+				}, nil
 		},
+	}
+	return []Benchmark{hit, miss}
+}
+
+// jobsBenchmarks covers the async job path end to end: POST with
+// mode=async (202 + job id), the scheduler and journal, and the events
+// stream that blocks until the terminal snapshot — no poll loop, so
+// the measured time is the subsystem's, not a sleep interval's. Both
+// run with a persistent job dir, putting the journal fsyncs inside the
+// measured region, the way a durable deployment pays them. The hit
+// variant replays one warmed body, isolating job-machinery overhead
+// from engine work; the miss variant uses a fresh generator seed per
+// iteration so every job runs the planner.
+func jobsBenchmarks(w workload) []Benchmark {
+	submit := func(url, body string) (string, error) {
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return "", fmt.Errorf("serve: async submit status %d", resp.StatusCode)
+		}
+		var sub struct {
+			Job struct {
+				ID string `json:"id"`
+			} `json:"job"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			return "", err
+		}
+		return sub.Job.ID, nil
+	}
+	await := func(url, id string) error {
+		resp, err := http.Get(url + "/v1/jobs/" + id + "/events")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var last struct {
+			State string `json:"state"`
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+				return err
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		if last.State != "done" {
+			return fmt.Errorf("serve: job %s ended %q, want done", id, last.State)
+		}
+		return nil
+	}
+	setup := func(warm bool, bodyFor func(i int) string) func() (func() error, func(), error) {
+		return func() (func() error, func(), error) {
+			dir, err := os.MkdirTemp("", "perf-jobs-")
+			if err != nil {
+				return nil, nil, err
+			}
+			s, err := serve.New(serve.Config{JobDir: dir})
+			if err != nil {
+				_ = os.RemoveAll(dir)
+				return nil, nil, err
+			}
+			ts := httptest.NewServer(s.Handler())
+			cleanup := func() {
+				ts.Close()
+				s.Close()
+				_ = os.RemoveAll(dir)
+			}
+			iter := 0
+			op := func() error {
+				iter++
+				id, err := submit(ts.URL+"/v1/plan", bodyFor(iter))
+				if err != nil {
+					return err
+				}
+				return await(ts.URL, id)
+			}
+			if warm {
+				// Populate the result cache so every measured iteration
+				// is pure job machinery on a warmed entry.
+				if err := op(); err != nil {
+					cleanup()
+					return nil, nil, err
+				}
+			}
+			return op, cleanup, nil
+		}
+	}
+	gates := sizeOfSpec(w.spec)
+	hit := Benchmark{
+		Name:   "serve/jobs/cache=hit",
+		Group:  GroupServe,
+		Info:   fmt.Sprintf("async POST /v1/plan + events stream to done, %s, warmed result cache, persistent job dir", w.spec),
+		Params: map[string]string{"spec": w.spec, "planner": "hybrid", "cache": "hit", "mode": "async"},
+		Setup: setup(true, func(int) string {
+			return fmt.Sprintf(`{"generate":%q,"options":{"planner":"hybrid"},"mode":"async"}`, w.spec)
+		}),
+	}
+	miss := Benchmark{
+		Name:   "serve/jobs/cache=miss",
+		Group:  GroupServe,
+		Info:   fmt.Sprintf("async POST /v1/plan + events stream to done, %d-gate DAG with a fresh seed per job, persistent job dir", gates),
+		Params: map[string]string{"spec": w.spec, "planner": "observe", "cache": "miss", "mode": "async"},
+		Setup: setup(false, func(i int) string {
+			return fmt.Sprintf(`{"generate":"dag:gates=%d,seed=%d","options":{"planner":"observe"},"mode":"async"}`, gates, i)
+		}),
 	}
 	return []Benchmark{hit, miss}
 }

@@ -1,0 +1,43 @@
+// Package progress carries a per-run progress reporter through a
+// context.Context, so long-running engine executions can surface
+// monotonic progress to whoever launched them (the async job subsystem
+// in internal/jobs) without the engines importing any serving code.
+//
+// The engines call Report (or hoist FromContext outside their hot
+// loops) at the same granularity as their existing cancellation polls:
+// fault simulation once per 64-pattern block, ATPG once per targeted
+// fault, the planners once per selection round or region. A context
+// without a reporter makes every call a no-op, so the synchronous
+// paths pay one nil check and nothing else.
+package progress
+
+import "context"
+
+// Func receives one progress sample: stage names the unit of work
+// ("patterns", "faults", ...), done counts completed units, and total
+// is the known bound (0 when unknown). Samples for a fixed stage must
+// be monotonically non-decreasing in done; consumers may clamp.
+type Func func(stage string, done, total int64)
+
+// ctxKey is the private context key carrying the reporter.
+type ctxKey struct{}
+
+// With returns a context that carries f as its progress reporter.
+func With(ctx context.Context, f Func) context.Context {
+	return context.WithValue(ctx, ctxKey{}, f)
+}
+
+// FromContext returns the context's reporter, or nil when none is
+// attached. Engine loops hoist this lookup outside the measured region
+// and nil-check the returned func per sample.
+func FromContext(ctx context.Context) Func {
+	f, _ := ctx.Value(ctxKey{}).(Func)
+	return f
+}
+
+// Report sends one sample to the context's reporter, if any.
+func Report(ctx context.Context, stage string, done, total int64) {
+	if f := FromContext(ctx); f != nil {
+		f(stage, done, total)
+	}
+}

@@ -1,0 +1,44 @@
+package progress
+
+import (
+	"context"
+	"testing"
+)
+
+func TestReportReachesAttachedReporter(t *testing.T) {
+	type sample struct {
+		stage       string
+		done, total int64
+	}
+	var got []sample
+	ctx := With(context.Background(), func(stage string, done, total int64) {
+		got = append(got, sample{stage, done, total})
+	})
+	Report(ctx, "patterns", 64, 4096)
+	Report(ctx, "patterns", 128, 4096)
+	if len(got) != 2 || got[0] != (sample{"patterns", 64, 4096}) || got[1] != (sample{"patterns", 128, 4096}) {
+		t.Fatalf("samples = %+v", got)
+	}
+}
+
+func TestReportWithoutReporterIsNoOp(t *testing.T) {
+	Report(context.Background(), "patterns", 1, 2) // must not panic
+	if f := FromContext(context.Background()); f != nil {
+		t.Fatal("FromContext on a bare context returned a reporter")
+	}
+}
+
+func TestFromContextSurvivesNesting(t *testing.T) {
+	calls := 0
+	ctx := With(context.Background(), func(string, int64, int64) { calls++ })
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if f := FromContext(ctx); f == nil {
+		t.Fatal("reporter lost through WithCancel")
+	} else {
+		f("x", 1, 1)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}

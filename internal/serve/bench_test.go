@@ -34,7 +34,11 @@ func benchPost(url, body string) error {
 // BenchmarkPlanCached measures the full HTTP round-trip for a /v1/plan
 // request served from the result cache.
 func BenchmarkPlanCached(b *testing.B) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	body := fmt.Sprintf(`{"generate":%q,"options":{"planner":"hybrid"}}`, benchDAG)
@@ -52,7 +56,11 @@ func BenchmarkPlanCached(b *testing.B) {
 // BenchmarkPlanUncached measures the same round-trip with a distinct
 // generator seed per request, so every request runs the engine.
 func BenchmarkPlanUncached(b *testing.B) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	b.ResetTimer()
@@ -74,7 +82,10 @@ func TestServingLatencyReport(t *testing.T) {
 	}
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		for _, mode := range []string{"uncached", "cached"} {
-			s := New(Config{Workers: workers, RequestTimeout: 5 * time.Minute})
+			s, err := New(Config{Workers: workers, RequestTimeout: 5 * time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
 			ts := httptest.NewServer(s.Handler())
 			n, clients := 24, workers
 			bodyFor := func(i int) string {
@@ -122,6 +133,7 @@ func TestServingLatencyReport(t *testing.T) {
 			wg.Wait()
 			wall := time.Since(start)
 			ts.Close()
+			s.Close()
 
 			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 			p50 := lat[n/2]

@@ -44,6 +44,11 @@ type netlistRequest struct {
 	// Options carries endpoint-specific options, decoded by the
 	// endpoint handler.
 	Options json.RawMessage `json:"options,omitempty"`
+	// Mode selects the execution mode: "sync" (the default) answers in
+	// the request, "async" enqueues a job and answers 202 with its ID.
+	// Mode lives on the envelope, not in Options, so it stays out of
+	// the cache key: a request computes the same result either way.
+	Mode string `json:"mode,omitempty"`
 }
 
 var errNoCircuit = errors.New(`request must set exactly one of "bench" or "generate"`)

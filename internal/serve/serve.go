@@ -7,6 +7,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/implic"
+	"repro/internal/jobs"
 	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/pattern"
@@ -40,20 +42,39 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBody bounds request body size (default 8 MiB).
 	MaxBody int64
+	// JobDir is the persistent job store directory. Empty keeps async
+	// jobs in memory only (they do not survive restarts).
+	JobDir string
+	// JobQueue bounds queued async jobs; submissions beyond it get 429
+	// (default 64).
+	JobQueue int
+	// MaxJobs caps retained async jobs before the oldest terminal ones
+	// are garbage-collected (default 1024).
+	MaxJobs int
+	// JobRetention is how long finished async jobs stay queryable
+	// (default 1h).
+	JobRetention time.Duration
+	// JobTimeout is the per-job execution deadline, independent of any
+	// HTTP request deadline (default 10m).
+	JobTimeout time.Duration
 }
 
-// Server serves the repro engines over HTTP/JSON. Create with New and
-// mount Handler.
+// Server serves the repro engines over HTTP/JSON. Create with New,
+// mount Handler, and Close when done.
 type Server struct {
 	cfg     Config
 	pool    *Pool
 	cache   *Cache
 	metrics *Metrics
+	jobs    *jobs.Manager
+	parsers map[string]parseFunc
 	start   time.Time
 }
 
-// New returns a Server with defaults applied.
-func New(cfg Config) *Server {
+// New returns a Server with defaults applied. It opens the persistent
+// job store (when cfg.JobDir is set) and recovers jobs interrupted by
+// a previous crash, so it can fail on an unusable store directory.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -66,17 +87,43 @@ func New(cfg Config) *Server {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 8 << 20
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		pool:    NewPool(cfg.Workers),
 		cache:   NewCache(cfg.CacheBytes),
 		metrics: NewMetrics(),
 		start:   time.Now(),
 	}
+	s.parsers = map[string]parseFunc{
+		"/v1/plan":     parsePlan,
+		"/v1/faultsim": parseFaultsim,
+		"/v1/atpg":     parseATPG,
+		"/v1/lint":     parseLint,
+	}
+	m, err := jobs.New(jobs.Config{
+		Dir:        cfg.JobDir,
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.JobQueue,
+		MaxJobs:    cfg.MaxJobs,
+		Retention:  cfg.JobRetention,
+		Timeout:    cfg.JobTimeout,
+	}, s.executeJob)
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = m
+	return s, nil
 }
 
-// Handler returns the service mux: the four engine endpoints plus
-// /healthz and /v1/stats.
+// Close stops the async job scheduler. Jobs interrupted mid-run keep
+// their journal in the running state and are re-queued by the next
+// server on the same job directory.
+func (s *Server) Close() {
+	s.jobs.Close()
+}
+
+// Handler returns the service mux: the four engine endpoints, the
+// async job API, /healthz, and /v1/stats.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -85,6 +132,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/faultsim", s.engineHandler("/v1/faultsim", parseFaultsim))
 	mux.HandleFunc("/v1/atpg", s.engineHandler("/v1/atpg", parseATPG))
 	mux.HandleFunc("/v1/lint", s.engineHandler("/v1/lint", parseLint))
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	return mux
 }
 
@@ -95,6 +146,7 @@ type Stats struct {
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Cache         CacheStats                  `json:"cache"`
 	Pool          PoolStats                   `json:"pool"`
+	Jobs          jobs.Stats                  `json:"jobs"`
 }
 
 // Stats snapshots the service counters.
@@ -105,6 +157,7 @@ func (s *Server) Stats() Stats {
 		Endpoints:     s.metrics.Snapshot(),
 		Cache:         s.cache.Stats(),
 		Pool:          s.pool.Stats(),
+		Jobs:          s.jobs.Stats(),
 	}
 }
 
@@ -179,16 +232,31 @@ func (s *Server) engineHandler(name string, parse parseFunc) http.HandlerFunc {
 			writeError(w, status, "POST required")
 			return
 		}
+		// The body is read whole (not stream-decoded) because an async
+		// submission journals the verbatim envelope for replay after a
+		// restart.
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
-		var req netlistRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
 			var mbe *http.MaxBytesError
 			if errors.As(err, &mbe) {
 				status = http.StatusRequestEntityTooLarge
 			} else {
 				status = http.StatusBadRequest
 			}
+			writeError(w, status, "read request: "+err.Error())
+			return
+		}
+		var req netlistRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			status = http.StatusBadRequest
 			writeError(w, status, "decode request: "+err.Error())
+			return
+		}
+		async, err := asyncRequested(&req, r)
+		if err != nil {
+			status = http.StatusBadRequest
+			writeError(w, status, err.Error())
 			return
 		}
 		c, err := parseCircuit(&req)
@@ -213,6 +281,11 @@ func (s *Server) engineHandler(name string, parse parseFunc) http.HandlerFunc {
 		if err != nil {
 			status = http.StatusInternalServerError
 			writeError(w, status, err.Error())
+			return
+		}
+
+		if async {
+			status = s.submitJob(w, name, key, body, timeoutMS)
 			return
 		}
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/netlist"
+	"repro/internal/progress"
 	"repro/internal/testability"
 )
 
@@ -64,9 +65,13 @@ func planControlPointsGreedy(ctx context.Context, c *netlist.Circuit, faults []f
 	plan.CoveredBefore = countCovered(co, faults, dth)
 	covered := plan.CoveredBefore
 
+	report := progress.FromContext(ctx)
 	var points []netlist.TestPoint
 	cur := c
 	for len(points) < k {
+		if report != nil {
+			report("control-points", int64(len(points)), int64(k))
+		}
 		candidates := controlCandidates(cur, co, faults, dth, maxCand)
 		bestGain := 0
 		var bestPoint netlist.TestPoint

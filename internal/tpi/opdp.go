@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/netlist"
+	"repro/internal/progress"
 	"repro/internal/testability"
 )
 
@@ -377,9 +378,13 @@ func planObservationPointsDP(ctx context.Context, c *netlist.Circuit, faults []f
 		}
 	}
 	sort.Ints(stems)
+	report := progress.FromContext(ctx)
 	dps := make([]*regionDP, len(stems))
 	tables := make([][]int, len(stems))
 	for i, s := range stems {
+		if report != nil {
+			report("op-regions", int64(i), int64(len(stems)))
+		}
 		r := &regionDP{m: m, stem: s, kMax: k, dth: dth, memo: make(map[[2]int][]int), ctx: ctx, done: ctx.Done()}
 		tables[i] = r.run()
 		dps[i] = r

@@ -60,3 +60,15 @@ func Joined(ctx context.Context, vals []int) []int {
 	wg.Wait()
 	return out
 }
+
+// Vetted is the constructor shape the goroutineAllowlist covers: the
+// spawn calls Done on a WaitGroup some other method Waits on, so no
+// join is visible here. The allowlist entry keeps it clean while its
+// unlisted neighbors above still fire.
+func Vetted(wg *sync.WaitGroup, sink chan<- int) {
+	wg.Add(1)
+	go func() { // allowlisted: joined by the caller's Close-analog
+		defer wg.Done()
+		sink <- 1
+	}()
+}
