@@ -180,6 +180,9 @@ func run(cfg config) error {
 	defer stop()
 	select {
 	case err := <-errc:
+		// A listener failed before any shutdown was requested; release
+		// the job scheduler too instead of leaking it on the error path.
+		s.Close()
 		return err
 	case <-ctx.Done():
 	}
@@ -193,6 +196,11 @@ func run(cfg config) error {
 		// close it outright so only the public drain gates the exit.
 		_ = debugSrv.Close()
 	}
+	// End the long-lived job-event streams before Shutdown: Shutdown
+	// waits for active requests, and a subscriber blocked on a job that
+	// outlives the drain window would otherwise hold the exit until the
+	// deadline and turn a clean SIGTERM into a failed shutdown.
+	s.DrainStreams()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

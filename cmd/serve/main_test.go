@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -139,5 +145,132 @@ func TestRunDebugListenFailure(t *testing.T) {
 	}
 	if code := cli.ExitCode(err); code != cli.ExitFailure {
 		t.Errorf("exit code = %d, want %d", code, cli.ExitFailure)
+	}
+}
+
+// freeAddr reserves a localhost port and returns it as host:port. The
+// listener is closed before returning, so the address is free for the
+// server under test to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+// TestShutdownOrderingDrainsBlockedSubscriber is the end-to-end
+// shutdown pin: with the single worker occupied and a second job
+// queued, a subscriber blocked on the queued job's event stream must
+// not hold SIGTERM shutdown open. The drain ends the stream, the
+// public and debug listeners close, and run returns nil well inside
+// the (deliberately generous) drain window.
+func TestShutdownOrderingDrainsBlockedSubscriber(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a real server and sends SIGTERM")
+	}
+	cfg := goodConfig()
+	cfg.addr = freeAddr(t)
+	cfg.debugAddr = freeAddr(t)
+	cfg.workers = 1
+	cfg.drainTimeout = 30 * time.Second
+	cfg.jobTimeout = 10 * time.Minute
+
+	// Absorb SIGTERM in the test too: delivery must never depend on
+	// whether run has reached its NotifyContext yet.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(cfg) }()
+	base := "http://" + cfg.addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Occupy the worker with a heavy job, then queue a second one and
+	// subscribe to its events: the subscriber parks on a state change
+	// that will not arrive before the drain.
+	submit := func(body string) string {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/faultsim", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: status %d body %s", resp.StatusCode, b)
+		}
+		var sub struct {
+			Job struct {
+				ID string `json:"id"`
+			} `json:"job"`
+		}
+		if err := json.Unmarshal(b, &sub); err != nil || sub.Job.ID == "" {
+			t.Fatalf("bad 202 body %s: %v", b, err)
+		}
+		return sub.Job.ID
+	}
+	submit(`{"generate":"dag:gates=1500,seed=1","options":{"patterns":1048576},"mode":"async"}`)
+	queued := submit(`{"generate":"dag:gates=1500,seed=2","options":{"patterns":1048576},"mode":"async"}`)
+
+	stream, err := http.Get(base + "/v1/jobs/" + queued + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	if !sc.Scan() {
+		t.Fatalf("event stream ended before its first line: %v", sc.Err())
+	}
+	streamDone := make(chan error, 1)
+	go func() {
+		for sc.Scan() {
+		}
+		streamDone <- sc.Err()
+	}()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-streamDone:
+		if err != nil {
+			t.Errorf("drained stream ended with %v, want clean EOF", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("SIGTERM left the blocked event subscriber hanging")
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Errorf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return within the drain window after SIGTERM")
+	}
+
+	// Both listeners are down after the drain.
+	for _, addr := range []string{cfg.addr, cfg.debugAddr} {
+		if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+			conn.Close()
+			t.Errorf("listener %s still accepts connections after shutdown", addr)
+		}
 	}
 }

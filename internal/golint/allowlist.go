@@ -377,3 +377,51 @@ func allowedImpurity(pkgPath, symbol string) bool {
 	}
 	return false
 }
+
+// resourceOwnerAllowlist vets functions whose resource acquisitions
+// (G014) are ownership transfers the positional scan cannot see —
+// constructors that hand the resource to a long-lived owner, pools
+// that release on their own schedule. Entries suppress every G014
+// finding in the named function, so each one must say who the real
+// owner is.
+var resourceOwnerAllowlist = []struct {
+	pkg, fn, why string
+}{
+	{"testdata/codelint/g014", "Vetted",
+		"fixture: proves the allowlist silences a listed function while its neighbors still fire"},
+}
+
+// isResourceOwner reports whether the function's acquisitions are
+// vetted ownership transfers for G014/G016.
+func isResourceOwner(pkgPath, fn string) bool {
+	for _, e := range resourceOwnerAllowlist {
+		if e.fn == fn && pathMatchesAny(pkgPath, []string{e.pkg}) {
+			return true
+		}
+	}
+	return false
+}
+
+// durabilityPackages scopes G015: the packages that persist state the
+// process must be able to trust after a crash. Only journals and
+// result blobs live here; adding a package opts its writes into the
+// append+Sync / tmp→fsync→rename→dir-sync discipline.
+var durabilityPackages = []struct {
+	pkg, why string
+}{
+	{"internal/jobs",
+		"owns the job journal and result blobs; DESIGN.md's durability invariants are this package's contract"},
+	{"testdata/codelint/g015",
+		"fixture: exercises every dirty and clean durability shape the rule knows"},
+}
+
+// isDurabilityPackage reports whether the package's writes are held to
+// the G015 durability discipline.
+func isDurabilityPackage(pkgPath string) bool {
+	for _, e := range durabilityPackages {
+		if pathMatchesAny(pkgPath, []string{e.pkg}) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package golint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The baseline ratchet. A baseline file lists the fingerprints of
+// known findings so CI can gate at a stricter severity than the tree
+// currently satisfies: existing debt is suppressed by fingerprint, new
+// findings fail, and entries whose findings were fixed go stale —
+// ratchet down by regenerating with -write-baseline. Because the
+// fingerprint excludes line numbers (see fingerprint.go), rebasing and
+// unrelated edits do not invalidate entries.
+
+// baselineHeader is the required first line of a baseline file.
+const baselineHeader = "# codelint baseline v1"
+
+// Baseline is a parsed suppression set.
+type Baseline struct {
+	entries map[string]bool
+}
+
+// ParseBaseline reads a baseline file: the version header, then one
+// finding per line as "<fingerprint> <rule> <file>" (rule and file are
+// human context only; the fingerprint is the key). Blank lines and #
+// comments are ignored after the header.
+func ParseBaseline(r io.Reader) (*Baseline, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("golint: empty baseline file")
+	}
+	if strings.TrimSpace(sc.Text()) != baselineHeader {
+		return nil, fmt.Errorf("golint: baseline must start with %q, got %q", baselineHeader, sc.Text())
+	}
+	b := &Baseline{entries: make(map[string]bool)}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		b.entries[fields[0]] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("golint: read baseline: %w", err)
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the findings as a baseline file. fps must be
+// the parallel Fingerprints result. Entries are written in report
+// order (position-sorted), one per finding.
+func WriteBaseline(w io.Writer, findings []Finding, fps []string) error {
+	if len(findings) != len(fps) {
+		return fmt.Errorf("golint: %d findings but %d fingerprints", len(findings), len(fps))
+	}
+	if _, err := fmt.Fprintln(w, baselineHeader); err != nil {
+		return err
+	}
+	for i, f := range findings {
+		if _, err := fmt.Fprintf(w, "%s %s %s\n", fps[i], f.Rule, f.File); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply splits the findings into kept (not suppressed) and counts the
+// suppressed ones; stale returns the baseline entries no finding
+// matched, sorted, so callers can report ratchet-down opportunities.
+// fps must be the parallel Fingerprints result.
+func (b *Baseline) Apply(findings []Finding, fps []string) (kept []Finding, keptFps []string, suppressed int, stale []string) {
+	used := make(map[string]bool)
+	for i, f := range findings {
+		if b.entries[fps[i]] {
+			used[fps[i]] = true
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+		keptFps = append(keptFps, fps[i])
+	}
+	for fp := range b.entries {
+		if !used[fp] {
+			stale = append(stale, fp)
+		}
+	}
+	sort.Strings(stale)
+	return kept, keptFps, suppressed, stale
+}
+
+// Size reports how many entries the baseline holds.
+func (b *Baseline) Size() int { return len(b.entries) }

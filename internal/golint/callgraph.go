@@ -148,6 +148,15 @@ type ModuleFacts struct {
 
 	hot   map[*types.Func]string // lazily-built hot set, see hotFuncs
 	serve *serveGraph            // lazily-built serve dataflow, see taint.go
+
+	// released / dirSyncers / headerWriters are the lazily-built
+	// interprocedural summaries of the lifecycle rules — which functions
+	// release which parameters (lifecycle.go), fsync a directory
+	// (g015.go), and complete an error response on a ResponseWriter
+	// parameter (g016.go).
+	released      map[*types.Func]map[int]bool
+	dirSyncers    map[*types.Func]bool
+	headerWriters map[*types.Func]int
 }
 
 // newModuleFacts summarizes every function declaration of the given

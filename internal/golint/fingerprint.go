@@ -1,0 +1,55 @@
+package golint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Stable finding fingerprints. SARIF consumers (and the -baseline
+// ratchet) need to recognize "the same finding" across commits that
+// shift line numbers, so the fingerprint hashes what identifies the
+// finding — rule, normalized path, and the trimmed text of the
+// offending source line — and deliberately excludes the line number.
+// Identical (rule, file, line-text) tuples are disambiguated by their
+// occurrence index in report order, so two copies of the same defect
+// on identical lines still get distinct prints.
+
+// fingerprintScheme names the hash recipe; bump it if the recipe ever
+// changes so stale baselines fail loudly instead of silently matching.
+const fingerprintScheme = "codelintFingerprint/v1"
+
+// Fingerprints computes the stable fingerprint of every finding, in
+// order. modRoot locates the source files; a file that cannot be read
+// (deleted between analysis and fingerprinting) contributes an empty
+// line text rather than an error, keeping the function total.
+func Fingerprints(modRoot string, findings []Finding) []string {
+	lines := make(map[string][]string)
+	lineText := func(file string, line int) string {
+		ls, ok := lines[file]
+		if !ok {
+			data, err := os.ReadFile(filepath.Join(modRoot, filepath.FromSlash(file)))
+			if err == nil {
+				ls = strings.Split(string(data), "\n")
+			}
+			lines[file] = ls
+		}
+		if line < 1 || line > len(ls) {
+			return ""
+		}
+		return strings.TrimSpace(ls[line-1])
+	}
+	seen := make(map[string]int)
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		key := f.Rule + "\x00" + f.File + "\x00" + lineText(f.File, f.Line)
+		n := seen[key]
+		seen[key] = n + 1
+		sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d", key, n)))
+		out[i] = hex.EncodeToString(sum[:8])
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package golint
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The suggested-fix engine. Analyzers attach a *Fix to findings whose
+// repair is mechanical (see DESIGN.md "Autofix safety" for the offered
+// vs. finding-only line); ApplyFixes materializes them as gofmt-clean
+// file contents, and cmd/codelint -fix writes (or, with -dry-run,
+// diffs) the result. The contract is idempotence: applying the fixes
+// removes the findings that carried them, so a second run changes
+// nothing.
+
+// TextEdit is one byte-range replacement in a file's original
+// contents. Start and End are byte offsets into the file as analyzed
+// (Start == End inserts).
+type TextEdit struct {
+	// File is the module-relative forward-slash path, as in Finding.File.
+	File string `json:"file"`
+	// Start and End delimit the replaced range.
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Text replaces the range. It need not be perfectly formatted —
+	// the engine runs the whole file through gofmt after applying.
+	Text string `json:"text"`
+}
+
+// Fix is a machine-applicable suggested fix: a description and the
+// edits that realize it. All edits of one Fix apply atomically.
+type Fix struct {
+	// Description says what applying the fix does.
+	Description string `json:"description"`
+	// Edits are the byte-range replacements, all within one file.
+	Edits []TextEdit `json:"edits"`
+}
+
+// ApplyFixes applies every suggested fix among the findings to the
+// files under modRoot and returns the new gofmt-formatted contents per
+// module-relative path. Files whose fixed contents equal the original
+// are omitted, so an empty map means nothing to do. Fixes whose edits
+// overlap an earlier fix's edits are skipped (first finding in report
+// order wins); overlap has not come up in practice because each fix
+// touches its own finding's neighborhood.
+func ApplyFixes(modRoot string, findings []Finding) (map[string][]byte, error) {
+	type span struct{ start, end int }
+	accepted := make(map[string][]TextEdit)
+	taken := make(map[string][]span)
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		overlaps := false
+		for _, e := range f.Fix.Edits {
+			for _, s := range taken[e.File] {
+				if e.Start < s.end && s.start < e.End || e.Start == s.start {
+					overlaps = true
+				}
+			}
+		}
+		if overlaps {
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			accepted[e.File] = append(accepted[e.File], e)
+			taken[e.File] = append(taken[e.File], span{e.Start, e.End})
+		}
+	}
+	out := make(map[string][]byte)
+	paths := make([]string, 0, len(accepted))
+	for path := range accepted {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		src, err := os.ReadFile(filepath.Join(modRoot, filepath.FromSlash(path)))
+		if err != nil {
+			return nil, fmt.Errorf("golint: read %s: %w", path, err)
+		}
+		edits := accepted[path]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		fixed := src
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(fixed) || e.Start > e.End {
+				return nil, fmt.Errorf("golint: edit out of range in %s (%d..%d of %d bytes)", path, e.Start, e.End, len(fixed))
+			}
+			var buf []byte
+			buf = append(buf, fixed[:e.Start]...)
+			buf = append(buf, e.Text...)
+			buf = append(buf, fixed[e.End:]...)
+			fixed = buf
+		}
+		formatted, err := format.Source(fixed)
+		if err != nil {
+			return nil, fmt.Errorf("golint: fixed %s does not parse: %w", path, err)
+		}
+		if string(formatted) == string(src) {
+			continue
+		}
+		out[path] = formatted
+	}
+	return out, nil
+}
+
+// WriteFixes writes the ApplyFixes result back under modRoot.
+func WriteFixes(modRoot string, fixed map[string][]byte) error {
+	paths := make([]string, 0, len(fixed))
+	for path := range fixed {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		abs := filepath.Join(modRoot, filepath.FromSlash(path))
+		info, err := os.Stat(abs)
+		if err != nil {
+			return fmt.Errorf("golint: stat %s: %w", path, err)
+		}
+		if err := os.WriteFile(abs, fixed[path], info.Mode().Perm()); err != nil {
+			return fmt.Errorf("golint: write %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// UnifiedDiff renders old→new as a single-hunk unified diff labeled
+// a/path and b/path, or "" when the contents are equal. One hunk from
+// the first to the last differing line keeps the output deterministic
+// and byte-exact for the goldens.
+func UnifiedDiff(path string, old, new []byte) string {
+	if string(old) == string(new) {
+		return ""
+	}
+	a := splitLines(string(old))
+	b := splitLines(string(new))
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	post := 0
+	for post < len(a)-pre && post < len(b)-pre && a[len(a)-1-post] == b[len(b)-1-post] {
+		post++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", path, path)
+	aLen := len(a) - pre - post
+	bLen := len(b) - pre - post
+	fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", pre+1, aLen, pre+1, bLen)
+	for _, line := range a[pre : len(a)-post] {
+		sb.WriteString("-" + line + "\n")
+	}
+	for _, line := range b[pre : len(b)-post] {
+		sb.WriteString("+" + line + "\n")
+	}
+	return sb.String()
+}
+
+// splitLines splits on newlines, dropping the empty slot a trailing
+// newline produces (every line in the diff output re-adds its "\n").
+func splitLines(s string) []string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}

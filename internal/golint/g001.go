@@ -29,10 +29,11 @@ import (
 // The collect-then-sort idiom is therefore recognized and stays clean.
 func analyzerG001() *Analyzer {
 	return &Analyzer{
-		ID:   RuleNondetIteration,
-		Name: "nondeterministic-iteration",
-		Doc:  "map iteration order leaking into output or an unsorted collection",
-		Run:  runG001,
+		ID:       RuleNondetIteration,
+		Name:     "nondeterministic-iteration",
+		Doc:      "map iteration order leaking into output or an unsorted collection",
+		Severity: Error,
+		Run:      runG001,
 	}
 }
 

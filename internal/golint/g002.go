@@ -23,10 +23,11 @@ const cliPkgPath = "repro/internal/cli"
 //     assigned from one of those
 func analyzerG002() *Analyzer {
 	return &Analyzer{
-		ID:   RuleExitContract,
-		Name: "exit-contract",
-		Doc:  "process exits outside func main or bypassing internal/cli.ExitCode",
-		Run:  runG002,
+		ID:       RuleExitContract,
+		Name:     "exit-contract",
+		Doc:      "process exits outside func main or bypassing internal/cli.ExitCode",
+		Severity: Error,
+		Run:      runG002,
 	}
 }
 

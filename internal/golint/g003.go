@@ -25,10 +25,11 @@ import (
 // single return statement forwarding into the *Context variant.
 func analyzerG003() *Analyzer {
 	return &Analyzer{
-		ID:   RuleContextDiscipline,
-		Name: "context-discipline",
-		Doc:  "dropped or shadowed context.Context arguments; fresh root contexts outside compat wrappers",
-		Run:  runG003,
+		ID:       RuleContextDiscipline,
+		Name:     "context-discipline",
+		Doc:      "dropped or shadowed context.Context arguments; fresh root contexts outside compat wrappers",
+		Severity: Warning,
+		Run:      runG003,
 	}
 }
 

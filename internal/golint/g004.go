@@ -19,10 +19,11 @@ import (
 // table, not scattered suppression comments.
 func analyzerG004() *Analyzer {
 	return &Analyzer{
-		ID:   RuleImpureEngine,
-		Name: "impure-engine",
-		Doc:  "wall-clock, global RNG, or environment reads inside deterministic engine packages",
-		Run:  runG004,
+		ID:       RuleImpureEngine,
+		Name:     "impure-engine",
+		Doc:      "wall-clock, global RNG, or environment reads inside deterministic engine packages",
+		Severity: Warning,
+		Run:      runG004,
 	}
 }
 

@@ -20,10 +20,11 @@ import (
 // comments (//go:...) do not count as documentation.
 func analyzerG006() *Analyzer {
 	return &Analyzer{
-		ID:   RuleDocComment,
-		Name: "doc-comment",
-		Doc:  "exported symbols in API-bearing packages missing a leading-name godoc comment",
-		Run:  runG006,
+		ID:       RuleDocComment,
+		Name:     "doc-comment",
+		Doc:      "exported symbols in API-bearing packages missing a leading-name godoc comment",
+		Severity: Warning,
+		Run:      runG006,
 	}
 }
 

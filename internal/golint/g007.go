@@ -20,10 +20,11 @@ import "fmt"
 
 func analyzerG007() *Analyzer {
 	return &Analyzer{
-		ID:   RuleAllocHotPath,
-		Name: "alloc-hot-path",
-		Doc:  "allocation reachable from a measured engine loop",
-		Run:  runG007,
+		ID:       RuleAllocHotPath,
+		Name:     "alloc-hot-path",
+		Doc:      "allocation reachable from a measured engine loop",
+		Severity: Warning,
+		Run:      runG007,
 	}
 }
 

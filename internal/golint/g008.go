@@ -30,10 +30,11 @@ import (
 
 func analyzerG008() *Analyzer {
 	return &Analyzer{
-		ID:   RuleGoroutineDiscipline,
-		Name: "goroutine-discipline",
-		Doc:  "goroutine not joined, ignoring ctx, or capturing loop variables",
-		Run:  runG008,
+		ID:       RuleGoroutineDiscipline,
+		Name:     "goroutine-discipline",
+		Doc:      "goroutine not joined, ignoring ctx, or capturing loop variables",
+		Severity: Warning,
+		Run:      runG008,
 	}
 }
 

@@ -22,10 +22,11 @@ import (
 
 func analyzerG009() *Analyzer {
 	return &Analyzer{
-		ID:   RuleLockDiscipline,
-		Name: "lock-discipline",
-		Doc:  "unpaired lock, channel op or engine call under a mutex, or mutex copy",
-		Run:  runG009,
+		ID:       RuleLockDiscipline,
+		Name:     "lock-discipline",
+		Doc:      "unpaired lock, channel op or engine call under a mutex, or mutex copy",
+		Severity: Warning,
+		Run:      runG009,
 	}
 }
 

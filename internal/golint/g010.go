@@ -27,10 +27,11 @@ import (
 
 func analyzerG010() *Analyzer {
 	return &Analyzer{
-		ID:   RuleWorkerStateSharing,
-		Name: "worker-state-sharing",
-		Doc:  "unsynchronized goroutine write to a shared variable",
-		Run:  runG010,
+		ID:       RuleWorkerStateSharing,
+		Name:     "worker-state-sharing",
+		Doc:      "unsynchronized goroutine write to a shared variable",
+		Severity: Warning,
+		Run:      runG010,
 	}
 }
 

@@ -33,10 +33,11 @@ import (
 // the field from unkeyed data, the error returns.
 func analyzerG011() *Analyzer {
 	return &Analyzer{
-		ID:   RuleCacheKeySoundness,
-		Name: "cache-key-soundness",
-		Doc:  "engine option fields read on the serve path but absent from the cache key; keyed fields never read",
-		Run:  runG011,
+		ID:       RuleCacheKeySoundness,
+		Name:     "cache-key-soundness",
+		Doc:      "engine option fields read on the serve path but absent from the cache key; keyed fields never read",
+		Severity: Error,
+		Run:      runG011,
 	}
 }
 

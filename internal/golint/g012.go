@@ -32,10 +32,11 @@ import (
 //   - not vetted in ctxLoopExemptPackages / ctxLoopAllowlist.
 func analyzerG012() *Analyzer {
 	return &Analyzer{
-		ID:   RuleCancelReachability,
-		Name: "cancellation-reachability",
-		Doc:  "unbounded loops reachable from /v1/* handlers that never poll their context",
-		Run:  runG012,
+		ID:       RuleCancelReachability,
+		Name:     "cancellation-reachability",
+		Doc:      "unbounded loops reachable from /v1/* handlers that never poll their context",
+		Severity: Error,
+		Run:      runG012,
 	}
 }
 

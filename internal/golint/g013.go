@@ -26,10 +26,11 @@ import "fmt"
 // per-package scoping would vet or miss.
 func analyzerG013() *Analyzer {
 	return &Analyzer{
-		ID:   RuleEngineOutputPurity,
-		Name: "engine-output-purity",
-		Doc:  "mutable package state or environment reads on the cache-keyed serve path",
-		Run:  runG013,
+		ID:       RuleEngineOutputPurity,
+		Name:     "engine-output-purity",
+		Doc:      "mutable package state or environment reads on the cache-keyed serve path",
+		Severity: Error,
+		Run:      runG013,
 	}
 }
 

@@ -1,0 +1,177 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// G014 resource-lifecycle: every acquired resource — files and
+// listeners (Close), timers and tickers (Stop), cancel funcs from
+// context.WithCancel/WithTimeout (call them) — must be released on
+// every path out of its frame, including the early error returns that
+// sit between the acquisition and the first release. Ownership
+// transfers (returning the value, storing it, handing it to a callee
+// that does not release it) move the obligation to the new owner;
+// functions whose transfers are structural rather than visible to the
+// positional scan are vetted in resourceOwnerAllowlist.
+//
+// The interprocedural half runs on the module call graph: a bare pass
+// of the resource to a module-internal helper counts as a release
+// exactly when that helper's summary releases the parameter (see
+// releaseSummaries in lifecycle.go), so `closeAll(f)` satisfies the
+// rule and an early return before it still violates it.
+
+func analyzerG014() *Analyzer {
+	return &Analyzer{
+		ID:       RuleResourceLifecycle,
+		Name:     "resource-lifecycle",
+		Doc:      "files, listeners, timers, tickers, or cancel funcs not released on every path",
+		Severity: Error,
+		Run:      runG014,
+	}
+}
+
+func runG014(p *Pass) []Finding {
+	var out []Finding
+	rel := p.Mod.releaseOracleOf()
+	for _, file := range p.Pkg.Files {
+		for _, fd := range funcDecls(file) {
+			if fd.Body == nil || isResourceOwner(p.Pkg.Path, fd.Name.Name) {
+				continue
+			}
+			for _, found := range findAcquisitions(p.Pkg.Info, fd, g014Acquisitions) {
+				out = append(out, checkAcquisition(p, found.frame, found.acq, rel)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkAcquisition runs the shared positional path check for one
+// acquisition and renders G014 findings (also used by G016 for
+// response bodies, with its own rule ID).
+func checkAcquisition(p *Pass, frame *ast.BlockStmt, acq resourceAcq, rel releaseOracle) []Finding {
+	return checkAcquisitionAs(p, frame, acq, rel, RuleResourceLifecycle)
+}
+
+func checkAcquisitionAs(p *Pass, frame *ast.BlockStmt, acq resourceAcq, rel releaseOracle, rule string) []Finding {
+	if acq.obj == nil {
+		// The resource result was assigned to the blank identifier:
+		// discarding a cancel func (or a file) means nobody can ever
+		// release it.
+		f := p.finding(rule, Error, acq.pos,
+			fmt.Sprintf("%s is discarded, so it can never be released", acq.what),
+			"bind the value and release it (defer) or transfer ownership")
+		return []Finding{f}
+	}
+	sc := scanLifecycle(p.Pkg.Info, frame, acq, rel)
+	if sc.escaped {
+		return nil
+	}
+	if len(sc.releases) == 0 {
+		f := p.finding(rule, Error, acq.pos,
+			fmt.Sprintf("%s %s is never released", acq.what, acq.obj.Name()),
+			fmt.Sprintf("add `defer %s` after the acquisition's error check", releaseCallText(acq)))
+		f.Fix = deferReleaseFix(p, frame, acq)
+		return []Finding{f}
+	}
+	if sc.deferredRelease {
+		// A deferred release covers every path after the defer runs; the
+		// positional early-return check below only applies to direct
+		// releases, where returns before the release line leak.
+		return nil
+	}
+	var out []Finding
+	first := sc.releases[0]
+	for _, pos := range sc.releases[1:] {
+		if pos < first {
+			first = pos
+		}
+	}
+	for _, ret := range earlyReturns(p.Pkg.Info, frame, acq, first) {
+		out = append(out, p.finding(rule, Error, ret,
+			fmt.Sprintf("%s %s is not released on this return path", acq.what, acq.obj.Name()),
+			fmt.Sprintf("release with `defer %s` so every return is covered", releaseCallText(acq))))
+	}
+	return out
+}
+
+// releaseCallText renders the releasing call for hints and fixes.
+func releaseCallText(acq resourceAcq) string {
+	name := "_"
+	if acq.obj != nil {
+		name = acq.obj.Name()
+	}
+	switch acq.release {
+	case "":
+		return name + "()"
+	case "Body.Close":
+		return name + ".Body.Close()"
+	default:
+		return name + "." + acq.release + "()"
+	}
+}
+
+// deferReleaseFix builds the suggested fix for a never-released
+// resource: insert `defer x.Close()` (or `defer cancel()`) right after
+// the acquisition's error check. The fix is only offered when the
+// acquisition is a direct child of a block and the insertion point is
+// unambiguous — after the immediately-following `if err != nil` guard
+// when the acquisition returns an error, else after the acquisition
+// itself; other shapes stay finding-only (see DESIGN.md).
+func deferReleaseFix(p *Pass, frame *ast.BlockStmt, acq resourceAcq) *Fix {
+	anchor := insertionAnchor(p.Pkg.Info, frame, acq)
+	if anchor == token.NoPos {
+		return nil
+	}
+	file := p.Loader.Fset.File(anchor)
+	if file == nil {
+		return nil
+	}
+	text := "\ndefer " + releaseCallText(acq)
+	return &Fix{
+		Description: fmt.Sprintf("insert `defer %s` after the acquisition", releaseCallText(acq)),
+		Edits: []TextEdit{{
+			File:  p.relFile(anchor),
+			Start: file.Offset(anchor),
+			End:   file.Offset(anchor),
+			Text:  text,
+		}},
+	}
+}
+
+// insertionAnchor finds the position right after which the deferred
+// release belongs: the end of the err-check if statement that
+// immediately follows the acquisition, or the end of the acquisition
+// statement when it returns no error. NoPos when the acquisition is
+// not a direct child of any block in the frame (no safe anchor).
+func insertionAnchor(info *types.Info, frame *ast.BlockStmt, acq resourceAcq) token.Pos {
+	var anchor token.Pos
+	ast.Inspect(frame, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, st := range block.List {
+			if st != ast.Stmt(acq.stmt) {
+				continue
+			}
+			if acq.errObj == nil {
+				anchor = st.End()
+				return false
+			}
+			if i+1 < len(block.List) {
+				objs := map[types.Object]bool{acq.errObj: true}
+				if ifs, ok := block.List[i+1].(*ast.IfStmt); ok && refersToObject(info, ifs.Cond, objs) {
+					anchor = ifs.End()
+					return false
+				}
+			}
+			return false
+		}
+		return true
+	})
+	return anchor
+}

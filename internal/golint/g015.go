@@ -1,0 +1,256 @@
+package golint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// G015 durability-discipline: machine-checks the crash-safety shapes
+// DESIGN.md documents for the journal-writing packages (the
+// durabilityPackages table in allowlist.go). Four checks, all scoped
+// to one function frame:
+//
+//  1. os.WriteFile is an in-place state write — a crash mid-write
+//     leaves a torn file where the old state used to be. State goes
+//     through append+Sync (journals) or tmp→fsync→rename (blobs).
+//  2. os.Rename that installs a blob must be preceded (positionally,
+//     in the same frame) by a Sync call — renaming a never-fsynced
+//     temp file publishes bytes the disk may not have.
+//  3. os.Rename must be followed by a directory sync — the rename
+//     itself lives in the directory, and until the directory is
+//     fsynced a crash can forget the installation. A module-internal
+//     helper that opens a directory and Syncs it (transitively)
+//     satisfies the check; see dirSyncSummaries.
+//  4. A file opened with os.O_APPEND (a journal) must be Synced in
+//     the frame that writes it — an append that never reaches disk is
+//     a state record the recovery replay will not see.
+func analyzerG015() *Analyzer {
+	return &Analyzer{
+		ID:       RuleDurabilityDiscipline,
+		Name:     "durability-discipline",
+		Doc:      "journal writes without Sync, renames of unsynced blobs, renames without a directory sync",
+		Severity: Error,
+		Run:      runG015,
+	}
+}
+
+func runG015(p *Pass) []Finding {
+	if !isDurabilityPackage(p.Pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	dirSync := p.Mod.dirSyncSummaries()
+	for _, file := range p.Pkg.Files {
+		for _, fd := range funcDecls(file) {
+			if fd.Body == nil {
+				continue
+			}
+			out = append(out, checkDurability(p, fd, dirSync)...)
+		}
+	}
+	return out
+}
+
+// frameDurability is one frame's durability-relevant events, collected
+// in a single walk.
+type frameDurability struct {
+	renames   []token.Pos
+	syncs     []token.Pos // .Sync() calls on any value
+	dirSyncs  []token.Pos // calls into directory-syncing helpers
+	appends   []appendOpen
+	writeFile []token.Pos // os.WriteFile calls
+}
+
+// appendOpen is one os.OpenFile(..., O_APPEND, ...) acquisition.
+type appendOpen struct {
+	obj types.Object
+	pos token.Pos
+}
+
+func checkDurability(p *Pass, fd *ast.FuncDecl, dirSync map[*types.Func]bool) []Finding {
+	info := p.Pkg.Info
+	var fr frameDurability
+	opensDir := false // the frame itself opens+syncs (it IS a dir-syncer)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if assign, ok := n.(*ast.AssignStmt); ok && len(assign.Rhs) == 1 && len(assign.Lhs) > 0 {
+			if call, ok := assign.Rhs[0].(*ast.CallExpr); ok {
+				if path, name := pkgQualified(info, call.Fun); path == "os" && name == "OpenFile" &&
+					len(call.Args) >= 2 && mentionsAppendFlag(call.Args[1]) {
+					if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						if obj := assignedObject(info, id); obj != nil {
+							fr.appends = append(fr.appends, appendOpen{obj: obj, pos: call.Pos()})
+						}
+					}
+				}
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name := pkgQualified(info, call.Fun)
+		switch path + "." + name {
+		case "os.WriteFile":
+			fr.writeFile = append(fr.writeFile, call.Pos())
+			return true
+		case "os.Rename":
+			fr.renames = append(fr.renames, call.Pos())
+			return true
+		case "os.Open":
+			opensDir = true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" {
+			fr.syncs = append(fr.syncs, call.Pos())
+			return true
+		}
+		if callee := staticCallee(info, call); callee != nil && dirSync[callee] {
+			fr.dirSyncs = append(fr.dirSyncs, call.Pos())
+		}
+		return true
+	})
+	var out []Finding
+	for _, pos := range fr.writeFile {
+		out = append(out, p.finding(RuleDurabilityDiscipline, Error, pos,
+			"os.WriteFile writes state in place; a crash mid-write tears the old state",
+			"journal through append+Sync, or install via tmp→fsync→rename"))
+	}
+	for _, pos := range fr.renames {
+		if !anyBefore(fr.syncs, pos) {
+			out = append(out, p.finding(RuleDurabilityDiscipline, Error, pos,
+				"os.Rename installs a file that was never fsynced in this frame",
+				"call Sync on the temp file before renaming it into place"))
+		}
+		if opensDir && anyBefore(fr.syncs, pos) && anyAfter(fr.syncs, pos) {
+			// The frame syncs both the file and (after the rename) an
+			// os.Open-ed handle — it is its own dir-syncer.
+			continue
+		}
+		if !anyAfter(fr.dirSyncs, pos) {
+			out = append(out, p.finding(RuleDurabilityDiscipline, Error, pos,
+				"os.Rename is not followed by a directory sync; a crash can forget the installed file",
+				"fsync the containing directory after the rename (see the store's syncDir helper)"))
+		}
+	}
+	for _, ap := range fr.appends {
+		if !syncsObject(info, fd.Body, ap.obj) {
+			out = append(out, p.finding(RuleDurabilityDiscipline, Error, ap.pos,
+				"journal opened with O_APPEND is never Synced; appended records may not reach disk",
+				"Sync the file after writing the record (before Close)"))
+		}
+	}
+	return out
+}
+
+// mentionsAppendFlag reports whether the flag expression textually
+// includes os.O_APPEND (flags are |-combined selector constants).
+func mentionsAppendFlag(e ast.Expr) bool {
+	return strings.Contains(exprText(e), "O_APPEND")
+}
+
+// anyBefore reports whether any position precedes p.
+func anyBefore(ps []token.Pos, p token.Pos) bool {
+	for _, x := range ps {
+		if x < p {
+			return true
+		}
+	}
+	return false
+}
+
+// anyAfter reports whether any position follows p.
+func anyAfter(ps []token.Pos, p token.Pos) bool {
+	for _, x := range ps {
+		if x > p {
+			return true
+		}
+	}
+	return false
+}
+
+// syncsObject reports whether the body calls .Sync() on obj.
+func syncsObject(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sync" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// dirSyncSummaries computes (once per Run) which module functions
+// fsync a directory: the function os.Opens something and Syncs the
+// opened handle, or (transitively) calls a function that does. The
+// summary is deliberately coarse — opening and syncing any handle
+// counts — because the only reason to Sync a freshly-opened unwritten
+// handle is directory durability.
+func (m *ModuleFacts) dirSyncSummaries() map[*types.Func]bool {
+	if m.dirSyncers != nil {
+		return m.dirSyncers
+	}
+	m.dirSyncers = make(map[*types.Func]bool)
+	for _, fn := range m.order {
+		ff := m.funcs[fn]
+		if opensAndSyncs(ff.pkg.Info, ff.decl.Body) {
+			m.dirSyncers[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range m.order {
+			if m.dirSyncers[fn] {
+				continue
+			}
+			for _, cs := range m.funcs[fn].calls {
+				if m.dirSyncers[cs.callee] {
+					m.dirSyncers[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return m.dirSyncers
+}
+
+// opensAndSyncs reports whether the body binds an os.Open result and
+// calls .Sync() on it.
+func opensAndSyncs(info *types.Info, body *ast.BlockStmt) bool {
+	var opened []types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, name := pkgQualified(info, call.Fun); path == "os" && name == "Open" {
+			if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := assignedObject(info, id); obj != nil {
+					opened = append(opened, obj)
+				}
+			}
+		}
+		return true
+	})
+	for _, obj := range opened {
+		if syncsObject(info, body, obj) {
+			return true
+		}
+	}
+	return false
+}

@@ -47,17 +47,32 @@
 //	G013 engine-output-purity        mutable package state or environment
 //	     reads on the cache-keyed serve path — the static complement of
 //	     the cache's byte-identical-hit tests
+//	G014 resource-lifecycle          files, listeners, timers, tickers,
+//	     and cancel funcs acquired but not released on every path —
+//	     including early error returns — modulo vetted ownership
+//	     transfers (see the resourceOwnerAllowlist in allowlist.go)
+//	G015 durability-discipline       journal-writing packages (see the
+//	     durabilityPackages table): in-place state writes, renames of
+//	     never-fsynced blobs, renames with no directory sync, and
+//	     journal appends that never reach disk
+//	G016 streaming-discipline        serve handlers: bare http.Flusher
+//	     assertions, NDJSON stream loops that flush optionally or not at
+//	     all, writes after a completed error response, and client
+//	     response bodies left open
 //
 // G001–G006 judge one file at a time; G007–G010 additionally consult
 // Pass.Mod, the whole-module call graph built once per Run (see
 // callgraph.go). G011–G013 further consult the interprocedural dataflow
 // built on top of it (see taint.go): backward reachability from the
 // /v1/* handler wiring and forward field-sensitive taint from the
-// cache-keyed option structs.
+// cache-keyed option structs. G014–G016 reuse the same call graph for
+// interprocedural release and header-write summaries (see lifecycle.go).
 //
 // Findings mirror the internal/lint model — stable rule IDs, the same
 // Severity scale, a locus, and a fix hint — so cmd/lint and
-// cmd/codelint feel like one system pointed at two artifact kinds.
+// cmd/codelint feel like one system pointed at two artifact kinds. A
+// finding may additionally carry a machine-applicable suggested fix
+// (see fix.go); cmd/codelint -fix applies them.
 package golint
 
 import (
@@ -124,6 +139,15 @@ const (
 	// RuleEngineOutputPurity: mutable package state or environment read
 	// on the cache-keyed serve path.
 	RuleEngineOutputPurity = "G013"
+	// RuleResourceLifecycle: an acquired resource (file, listener,
+	// timer, ticker, cancel func) not released on every path.
+	RuleResourceLifecycle = "G014"
+	// RuleDurabilityDiscipline: a journal-writing package breaks the
+	// append+Sync or tmp→fsync→rename→dir-sync shape.
+	RuleDurabilityDiscipline = "G015"
+	// RuleStreamingDiscipline: a serve handler breaks the streaming
+	// contract (flusher, write-after-error, unclosed response body).
+	RuleStreamingDiscipline = "G016"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -143,6 +167,10 @@ type Finding struct {
 	Message string `json:"message"`
 	// Hint suggests a fix, when one is known.
 	Hint string `json:"hint,omitempty"`
+	// Fix is a machine-applicable suggested fix, present only for the
+	// shapes whose repair is mechanical (see DESIGN.md "Autofix
+	// safety"); most findings are finding-only and carry nil.
+	Fix *Fix `json:"fix,omitempty"`
 }
 
 // String renders the finding in the conventional compiler one-liner.
@@ -162,6 +190,9 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-line description shown in tool help.
 	Doc string
+	// Severity is the gravest severity the analyzer emits, shown by
+	// `codelint -list` so the registry listing matches the gate math.
+	Severity Severity
 	// Run inspects one package and returns its findings (unsorted; the
 	// driver orders the aggregate).
 	Run func(*Pass) []Finding
@@ -183,6 +214,9 @@ func Analyzers() []*Analyzer {
 		analyzerG011(),
 		analyzerG012(),
 		analyzerG013(),
+		analyzerG014(),
+		analyzerG015(),
+		analyzerG016(),
 	}
 }
 

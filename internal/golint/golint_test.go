@@ -70,6 +70,9 @@ func TestFixturesMatchGoldens(t *testing.T) {
 		{"g011", RuleCacheKeySoundness, 4},
 		{"g012", RuleCancelReachability, 2},
 		{"g013", RuleEngineOutputPurity, 3},
+		{"g014", RuleResourceLifecycle, 5},
+		{"g015", RuleDurabilityDiscipline, 4},
+		{"g016", RuleStreamingDiscipline, 7},
 	} {
 		t.Run(fixture.name, func(t *testing.T) {
 			rep := analyzeFixture(t, fixture.name)
@@ -135,7 +138,8 @@ func TestAnalyzerRegistry(t *testing.T) {
 			t.Errorf("analyzer %s incompletely declared", a.ID)
 		}
 	}
-	want := []string{"G001", "G002", "G003", "G004", "G005", "G006", "G007", "G008", "G009", "G010", "G011", "G012", "G013"}
+	want := []string{"G001", "G002", "G003", "G004", "G005", "G006", "G007", "G008",
+		"G009", "G010", "G011", "G012", "G013", "G014", "G015", "G016"}
 	if !reflect.DeepEqual(ids, want) {
 		t.Errorf("registry IDs = %v, want %v", ids, want)
 	}
@@ -196,25 +200,31 @@ func TestCombinedOrderGolden(t *testing.T) {
 // produce no findings at their declaration sites.
 func TestCleanShapesStayClean(t *testing.T) {
 	cleanFuncs := map[string][]int{
-		// dirty.go line ranges of the clean functions per fixture.
-		"g001": {37, 55}, // SortedKeys, Total
-		"g003": {26, 38}, // Compat, step
-		"g004": {27, 30}, // Seeded
-		"g005": {21, 29}, // WrapWell, CleanupRecorded
-		"g006": {6, 7},   // Threshold (documented with the leading name)
-		"g007": {34, 44}, // warmup, Warm (hotAllocAllowlist entry)
-		"g008": {47, 74}, // Joined (wg-joined, ctx-observing, arg-passing), Vetted (goroutineAllowlist entry)
-		"g009": {45, 50}, // Bump (lock/defer-unlock critical section)
-		"g010": {38, 68}, // Guarded, Sharded
-		"g011": {30, 60}, // mount, Register, parseThing, buildOpts, runThing
-		"g012": {48, 76}, // polled, Vetted, step, pending
-		"g013": {35, 40}, // limit comparison, vetted scratch writes
+		// dirty.go line ranges of the clean functions per fixture, as
+		// flat start,end pairs (a fixture may pin several regions).
+		"g001": {37, 55},                   // SortedKeys, Total
+		"g003": {26, 38},                   // Compat, step
+		"g004": {27, 30},                   // Seeded
+		"g005": {21, 29},                   // WrapWell, CleanupRecorded
+		"g006": {6, 7},                     // Threshold (documented with the leading name)
+		"g007": {34, 44},                   // warmup, Warm (hotAllocAllowlist entry)
+		"g008": {47, 74},                   // Joined (wg-joined, ctx-observing, arg-passing), Vetted (goroutineAllowlist entry)
+		"g009": {45, 50},                   // Bump (lock/defer-unlock critical section)
+		"g010": {38, 68},                   // Guarded, Sharded
+		"g011": {30, 60},                   // mount, Register, parseThing, buildOpts, runThing
+		"g012": {48, 76},                   // polled, Vetted, step, pending
+		"g013": {35, 40},                   // limit comparison, vetted scratch writes
+		"g014": {84, 152},                  // DeferClose through the helper tail
+		"g015": {67, 117},                  // AppendSynced, InstallBlob, syncDir
+		"g016": {53, 63, 79, 95, 120, 127}, // StreamSolid; GuardedError, fail; FetchJSON
 	}
-	for name, span := range cleanFuncs {
+	for name, spans := range cleanFuncs {
 		rep := analyzeFixture(t, name)
-		for _, f := range rep.Findings {
-			if f.Line >= span[0] && f.Line <= span[1] {
-				t.Errorf("%s: finding inside clean region %v: %v", name, span, f)
+		for i := 0; i+1 < len(spans); i += 2 {
+			for _, f := range rep.Findings {
+				if f.Line >= spans[i] && f.Line <= spans[i+1] {
+					t.Errorf("%s: finding inside clean region %v-%v: %v", name, spans[i], spans[i+1], f)
+				}
 			}
 		}
 	}

@@ -55,12 +55,12 @@ func TestLoadWildcard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 13 {
+	if len(pkgs) != 17 {
 		var got []string
 		for _, p := range pkgs {
 			got = append(got, p.Path)
 		}
-		t.Errorf("loaded %d packages (%v), want 13", len(pkgs), got)
+		t.Errorf("loaded %d packages (%v), want 17", len(pkgs), got)
 	}
 	for i := 1; i < len(pkgs); i++ {
 		if pkgs[i-1].Path >= pkgs[i].Path {
@@ -112,6 +112,36 @@ func TestLoadSkipsTestFiles(t *testing.T) {
 	rep := Run(l, pkgs, Analyzers())
 	if n := len(rep.ByRule(RuleGoroutineDiscipline)); n != 3 {
 		t.Errorf("G008 findings = %d, want 3 (extra ones would come from the _test.go file)", n)
+	}
+}
+
+// TestLoadGenericsAndTagCombos loads the loader fixture: generic
+// declarations must type-check and instantiate, the build-tag-excluded
+// sibling must stay unparsed, and the _test.go sibling must stay out
+// even though its own build constraint is satisfied. Both siblings
+// redeclare UseGenerics, so any skip failure breaks the type check
+// loudly rather than shifting a count.
+func TestLoadGenericsAndTagCombos(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("repro/testdata/codelint/loader")
+	if err != nil {
+		t.Fatalf("generic fixture failed to load: %v", err)
+	}
+	p := pkgs[0]
+	if n := len(p.Files); n != 1 {
+		t.Errorf("loader fixture parsed %d files, want 1 (generics.go only)", n)
+	}
+	for _, name := range []string{"Pair", "Keys", "Sum", "UseGenerics"} {
+		if p.Types.Scope().Lookup(name) == nil {
+			t.Errorf("type-checked package is missing %s", name)
+		}
+	}
+	rep := Run(l, pkgs, Analyzers())
+	if len(rep.Findings) != 0 {
+		t.Errorf("generic fixture should be clean, got %v", rep.Findings)
 	}
 }
 

@@ -48,6 +48,10 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	// PartialFingerprints carries the line-number-free finding identity
+	// (see fingerprint.go) so code-scanning backends dedupe results
+	// across line-shifting commits.
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
 }
 
 type sarifLocation struct {
@@ -85,8 +89,9 @@ func sarifLevel(s Severity) string {
 // 2.1.0 log. The rule table lists exactly the analyzers that ran, in
 // registry order, and each result's ruleIndex points into it. Hints
 // ride in the result message, parenthesized, matching the one-line text
-// renderer.
-func WriteSARIF(w io.Writer, rep *Report, analyzers []*Analyzer, min Severity) error {
+// renderer. fps must be the Fingerprints result parallel to
+// rep.Findings (nil omits the partialFingerprints properties).
+func WriteSARIF(w io.Writer, rep *Report, analyzers []*Analyzer, min Severity, fps []string) error {
 	drv := sarifDriver{Name: "codelint", Rules: []sarifRule{}}
 	index := make(map[string]int, len(analyzers))
 	for i, a := range analyzers {
@@ -98,10 +103,17 @@ func WriteSARIF(w io.Writer, rep *Report, analyzers []*Analyzer, min Severity) e
 		})
 	}
 	results := []sarifResult{}
-	for _, f := range rep.Filter(min) {
+	for i, f := range rep.Findings {
+		if f.Severity < min {
+			continue
+		}
 		msg := f.Message
 		if f.Hint != "" {
 			msg += " (" + f.Hint + ")"
+		}
+		var prints map[string]string
+		if i < len(fps) {
+			prints = map[string]string{fingerprintScheme: fps[i]}
 		}
 		results = append(results, sarifResult{
 			RuleID:    f.Rule,
@@ -112,6 +124,7 @@ func WriteSARIF(w io.Writer, rep *Report, analyzers []*Analyzer, min Severity) e
 				ArtifactLocation: sarifArtifact{URI: f.File},
 				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
 			}}},
+			PartialFingerprints: prints,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -434,3 +434,125 @@ func TestAllowlistLoadBearing(t *testing.T) {
 		}
 	}
 }
+
+// TestResourceOwnerAllowlistPinned pins the G014 ownership-transfer
+// waivers to the fixture entry alone: the live tree currently holds no
+// constructor whose acquisitions outlive the frame by design, so any
+// growth here is a reviewed decision.
+func TestResourceOwnerAllowlistPinned(t *testing.T) {
+	if len(resourceOwnerAllowlist) != 1 {
+		t.Errorf("resourceOwnerAllowlist has %d entries, want 1 — update this pin together with the table", len(resourceOwnerAllowlist))
+	}
+	for _, e := range resourceOwnerAllowlist {
+		if e.why == "" {
+			t.Errorf("allowlist entry %s.%s carries no justification", e.pkg, e.fn)
+		}
+	}
+	if !isResourceOwner("repro/testdata/codelint/g014", "Vetted") {
+		t.Error("resourceOwnerAllowlist lost the fixture's Vetted entry")
+	}
+	if isResourceOwner("repro/internal/serve", "Vetted") {
+		t.Error("the fixture waiver must not leak onto serve")
+	}
+	if isResourceOwner("repro/testdata/codelint/g014", "LeakFile") {
+		t.Error("LeakFile is the fixture's dirty shape and must never be waived")
+	}
+}
+
+// TestResourceOwnerAllowlistLoadBearing asserts the Vetted entry still
+// covers a live acquisition: bypassing the allowlist, the function must
+// acquire a G014-tracked resource it never releases — exactly what the
+// waiver exists to silence. A Vetted that stops acquiring goes stale
+// and fails here.
+func TestResourceOwnerAllowlistLoadBearing(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("repro/testdata/codelint/g014")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquires := 0
+	for _, file := range pkgs[0].Files {
+		for _, fd := range funcDecls(file) {
+			if fd.Name.Name != "Vetted" || fd.Body == nil {
+				continue
+			}
+			acquires += len(findAcquisitions(pkgs[0].Info, fd, g014Acquisitions))
+		}
+	}
+	if acquires == 0 {
+		t.Error("g014.Vetted no longer acquires a tracked resource; prune its resourceOwnerAllowlist entry")
+	}
+}
+
+// TestDurabilityPackagesPinned pins the G015 scope: the job journal
+// package and the rule's own fixture, each with a written reason.
+// Scoping is opt-in because the discipline only makes sense for state
+// a process must trust after a crash.
+func TestDurabilityPackagesPinned(t *testing.T) {
+	if len(durabilityPackages) != 2 {
+		t.Errorf("durabilityPackages has %d entries, want 2 — update this pin together with the table", len(durabilityPackages))
+	}
+	for _, e := range durabilityPackages {
+		if e.why == "" {
+			t.Errorf("durability entry %s carries no justification", e.pkg)
+		}
+	}
+	for _, pkg := range []string{"repro/internal/jobs", "repro/testdata/codelint/g015"} {
+		if !isDurabilityPackage(pkg) {
+			t.Errorf("durabilityPackages lost %s", pkg)
+		}
+	}
+	if isDurabilityPackage("repro/internal/serve") {
+		t.Error("serve holds no durable state; G015 must not apply to it")
+	}
+	if isDurabilityPackage("repro/internal/exp") {
+		t.Error("exp writes reports, not journals; G015 must not apply to it")
+	}
+}
+
+// TestDurabilityPackagesLoadBearing asserts the internal/jobs entry
+// still covers live durability surface: the package renames blobs into
+// place, owns a directory-syncing helper the fixpoint recognizes, and
+// passes the rule it is scoped into.
+func TestDurabilityPackagesLoadBearing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks jobs")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("repro/internal/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(l, pkgs, Analyzers())
+	if n := len(rep.ByRule(RuleDurabilityDiscipline)); n != 0 {
+		t.Errorf("jobs: %d G015 findings; the scoped package must satisfy its own discipline:\n%v", n, rep.ByRule(RuleDurabilityDiscipline))
+	}
+	m := newModuleFacts(l, pkgs)
+	syncer := false
+	for fn := range m.dirSyncSummaries() {
+		if fn.Name() == "syncDir" {
+			syncer = true
+		}
+	}
+	if !syncer {
+		t.Error("jobs no longer owns a recognized directory-sync helper; the G015 scope entry has gone stale")
+	}
+	renames := 0
+	for _, file := range pkgs[0].Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Rename" {
+				renames++
+			}
+			return true
+		})
+	}
+	if renames == 0 {
+		t.Error("jobs no longer renames files into place; revisit its durabilityPackages entry")
+	}
+}

@@ -162,6 +162,31 @@ func (st *store) writeResult(id string, val []byte) error {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("jobs: install result: %w", err)
 	}
+	// The rename updated directory metadata; without a directory fsync a
+	// crash can forget the installed name even though the blob's bytes
+	// are durable.
+	if err := st.syncDir(); err != nil {
+		return fmt.Errorf("jobs: sync result dir: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the store directory so renames inside it survive a
+// crash (the tail of the tmp→fsync→rename→dir-sync discipline).
+func (st *store) syncDir() error {
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	st.fsyncs.Add(1)
 	return nil
 }
 

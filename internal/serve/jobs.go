@@ -215,7 +215,10 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "unknown job "+id)
 		return
 	}
-	flusher, _ := w.(http.Flusher)
+	// NewResponseController reaches the underlying Flusher through
+	// wrapped ResponseWriters; a nil-tolerated comma-ok Flusher would
+	// silently stop streaming behind middleware (rule G016).
+	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	enc := json.NewEncoder(w)
@@ -225,8 +228,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			status = statusClientClosed
 			return
 		}
-		if flusher != nil {
-			flusher.Flush()
+		if err := rc.Flush(); err != nil {
+			status = statusClientClosed
+			return
 		}
 		if snap.State.Terminal() {
 			return
@@ -235,6 +239,10 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		case <-watch:
 		case <-done:
 			status = statusClientClosed
+			return
+		case <-s.draining:
+			// Graceful shutdown: end the stream cleanly; the client has
+			// every snapshot up to this point and can resubscribe.
 			return
 		}
 		snap, watch, ok = s.jobs.Watch(id)

@@ -476,3 +476,84 @@ func TestAsyncModeValidation(t *testing.T) {
 		t.Fatalf("mode=sync: status %d, want 200", st)
 	}
 }
+
+// TestDrainStreamsEndsEventSubscriber pins the shutdown-ordering
+// contract: DrainStreams ends every open /v1/jobs/{id}/events stream
+// cleanly even while the watched job is still running, so a graceful
+// drain never blocks on a subscriber waiting for a snapshot that will
+// not come.
+func TestDrainStreamsEndsEventSubscriber(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	testHookCompute = func(string) {
+		close(enter)
+		<-release
+	}
+	defer func() { testHookCompute = nil }()
+	defer close(release) // ungate the engine so Close can join the worker
+
+	sub := submitAsync(t, ts.URL+"/v1/faultsim", `{"generate":"c17","options":{"patterns":4096},"mode":"async"}`)
+	<-enter // running, engine gated: the stream cannot end on its own
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.Job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("stream ended before its first line: %v", sc.Err())
+	}
+	var first jobs.Snapshot
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+	}
+	if first.State != jobs.Running {
+		t.Fatalf("first streamed state = %s, want running", first.State)
+	}
+
+	// The subscriber is now parked on the watch channel. Draining must
+	// end the stream cleanly (EOF, no error) without the job finishing.
+	eof := make(chan error, 1)
+	go func() {
+		for sc.Scan() {
+		}
+		eof <- sc.Err()
+	}()
+	s.DrainStreams()
+	select {
+	case err := <-eof:
+		if err != nil {
+			t.Errorf("drained stream ended with %v, want clean EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DrainStreams did not end the blocked event stream")
+	}
+
+	// The job itself is untouched by the drain: still running until the
+	// engine is released.
+	if st, js := getJob(t, ts.URL, sub.Job.ID); st != http.StatusOK || js.State != jobs.Running {
+		t.Errorf("after drain: status=%d state=%s, want 200 running", st, js.State)
+	}
+
+	// DrainStreams is idempotent, and post-drain subscriptions end
+	// immediately instead of hanging a half-shut-down server.
+	s.DrainStreams()
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + sub.Job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	done := make(chan struct{})
+	go func() {
+		_, _ = io.Copy(io.Discard, resp2.Body)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-drain subscription did not end promptly")
+	}
+}

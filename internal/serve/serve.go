@@ -69,6 +69,12 @@ type Server struct {
 	jobs    *jobs.Manager
 	parsers map[string]parseFunc
 	start   time.Time
+	// draining is closed by DrainStreams to unblock every live
+	// long-lived stream (the job event subscribers), so a graceful
+	// shutdown is never held hostage by a subscriber waiting on a job
+	// that will not finish before the drain deadline.
+	draining  chan struct{}
+	drainOnce sync.Once
 }
 
 // New returns a Server with defaults applied. It opens the persistent
@@ -88,11 +94,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBody = 8 << 20
 	}
 	s := &Server{
-		cfg:     cfg,
-		pool:    NewPool(cfg.Workers),
-		cache:   NewCache(cfg.CacheBytes),
-		metrics: NewMetrics(),
-		start:   time.Now(),
+		cfg:      cfg,
+		pool:     NewPool(cfg.Workers),
+		cache:    NewCache(cfg.CacheBytes),
+		metrics:  NewMetrics(),
+		start:    time.Now(),
+		draining: make(chan struct{}),
 	}
 	s.parsers = map[string]parseFunc{
 		"/v1/plan":     parsePlan,
@@ -115,10 +122,20 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the async job scheduler. Jobs interrupted mid-run keep
-// their journal in the running state and are re-queued by the next
-// server on the same job directory.
+// DrainStreams ends every live job-event stream: subscribers get the
+// snapshots written so far and a clean end of body. Callers invoke it
+// before http.Server.Shutdown — Shutdown waits for active requests,
+// and an events subscriber blocked on a non-terminal job would
+// otherwise hold the drain open until its deadline. Idempotent.
+func (s *Server) DrainStreams() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// Close ends live event streams and stops the async job scheduler.
+// Jobs interrupted mid-run keep their journal in the running state and
+// are re-queued by the next server on the same job directory.
 func (s *Server) Close() {
+	s.DrainStreams()
 	s.jobs.Close()
 }
 

@@ -1,0 +1,152 @@
+// Package g014 is a codelint fixture: resource lifecycle (rule G014).
+// LeakFile never closes its file, EarlyReturn leaks on the strict
+// path, HelperRelease proves the interprocedural release summary (its
+// close goes through closeQuietly) but still leaks on its own early
+// return, DropCancel discards a cancel func, and LeakTicker never
+// stops its ticker: findings. DeferClose, RunWithTimeout, NewOwner
+// (ownership moves into the composite literal), TransferOwnership
+// (plain return, never assigned), and Vetted (pinned in
+// resourceOwnerAllowlist) must stay clean.
+package g014
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"time"
+)
+
+// LeakFile opens a file and never releases it: finding, with a
+// suggested fix inserting the defer after the error check.
+func LeakFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	probe(f.Name())
+	return nil
+}
+
+// EarlyReturn closes on the happy path but leaks on the validation
+// return between the acquisition and the close: finding.
+func EarlyReturn(path string, strict bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if strict {
+		return errors.New("strict mode rejects the input")
+	}
+	_ = f.Close()
+	return nil
+}
+
+// closeQuietly releases its parameter; the module release summary
+// records it so passing a file here counts as a release, not an
+// ownership escape.
+func closeQuietly(f *os.File) {
+	_ = f.Close()
+}
+
+// HelperRelease closes through closeQuietly — without the
+// interprocedural summary that call would read as an ownership
+// transfer and silence the rule — yet the strict return before it
+// still leaks: finding.
+func HelperRelease(path string, strict bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if strict {
+		return errors.New("strict mode rejects the input")
+	}
+	closeQuietly(f)
+	return nil
+}
+
+// DropCancel discards the cancel func, leaking the derived context's
+// resources: finding.
+func DropCancel(ctx context.Context) context.Context {
+	dctx, _ := context.WithCancel(ctx)
+	return dctx
+}
+
+// LeakTicker never stops the ticker, leaking its goroutine: finding,
+// with a suggested fix inserting the defer.
+func LeakTicker(d time.Duration) {
+	t := time.NewTicker(d)
+	waitTick(t.C)
+}
+
+// DeferClose is the canonical clean shape: defer directly after the
+// error check.
+func DeferClose(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return sizeOf(f)
+}
+
+// RunWithTimeout defers its cancel func: clean.
+func RunWithTimeout(ctx context.Context, d time.Duration) error {
+	tctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	return wait(tctx)
+}
+
+// owner keeps a listener alive for its own lifetime.
+type owner struct{ ln net.Listener }
+
+// NewOwner hands the listener to the returned owner: the composite
+// literal is an ownership transfer, so the function stays clean.
+func NewOwner(addr string) (*owner, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &owner{ln: ln}, nil
+}
+
+// TransferOwnership returns the acquisition directly — never bound to
+// a local, so there is nothing to track: clean.
+func TransferOwnership(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// Vetted mirrors LeakFile exactly but is pinned in
+// resourceOwnerAllowlist: the golden proves the allowlist silences a
+// listed function while its neighbors still fire.
+func Vetted(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	probe(f.Name())
+	return nil
+}
+
+// probe stands in for arbitrary use of an open resource.
+func probe(string) {}
+
+// sizeOf reads a file's size through its stat.
+func sizeOf(f *os.File) (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// wait blocks until the context ends.
+func wait(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// waitTick receives one tick.
+func waitTick(c <-chan time.Time) {
+	<-c
+}

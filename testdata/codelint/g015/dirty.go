@@ -1,0 +1,117 @@
+// Package g015 is a codelint fixture: durability discipline (rule
+// G015), active here because the package is pinned in
+// durabilityPackages. InPlace tears state with os.WriteFile,
+// RenameUnsynced installs a blob that was never fsynced,
+// RenameNoDirSync forgets the directory sync after the rename, and
+// AppendNoSync appends journal records that may never reach disk:
+// findings. AppendSynced and InstallBlob walk the full write→Sync→
+// Close→Rename→syncDir discipline and must stay clean; syncDir itself
+// is the open-and-Sync shape the directory-sync summary detects.
+package g015
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// InPlace overwrites state where it lives; a crash mid-write tears
+// the old copy: finding.
+func InPlace(path string, state []byte) {
+	_ = os.WriteFile(path, state, 0o644)
+}
+
+// RenameUnsynced installs a temp file that was never fsynced in this
+// frame: finding. The directory sync after the rename is present so
+// only the missing file sync fires.
+func RenameUnsynced(tmp, final string) {
+	_ = os.Rename(tmp, final)
+	syncDir(filepath.Dir(final))
+}
+
+// RenameNoDirSync syncs the blob but never the directory, so a crash
+// can forget the installed name: finding.
+func RenameNoDirSync(tmp, final string, state []byte) error {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(state); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// AppendNoSync appends a journal record without ever syncing the
+// file: finding at the open.
+func AppendNoSync(path string, rec []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(rec); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// AppendSynced is the journal discipline — write, Sync, Close: clean.
+func AppendSynced(path string, rec []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(rec); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// InstallBlob is the full tmp→fsync→rename→dir-sync discipline: clean.
+func InstallBlob(dir, name string, state []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(state); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it survives a crash;
+// the dirSyncSummaries fixpoint recognizes this open-and-Sync shape.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

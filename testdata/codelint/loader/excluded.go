@@ -1,0 +1,9 @@
+//go:build codelint_excluded_fixture
+
+// Excluded by a never-satisfied build tag; the loader must not parse
+// it, or the UseGenerics redeclaration fails the type check.
+package loader
+
+// UseGenerics redeclares the real one: a loader that ignores build
+// constraints trips over this immediately.
+func UseGenerics() int { return -1 }

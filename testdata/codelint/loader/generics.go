@@ -1,0 +1,36 @@
+// Package loader is a loader fixture: generic declarations the type
+// checker must instantiate, next to build-tag-excluded and _test-
+// suffixed siblings that each redeclare UseGenerics — if the loader
+// ever parsed either, type-checking this package would fail on the
+// duplicate before any analyzer ran.
+package loader
+
+// Pair is a generic key/value cell.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Keys collects the keys of pairs in order.
+func Keys[K comparable, V any](ps []Pair[K, V]) []K {
+	out := make([]K, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, p.Key)
+	}
+	return out
+}
+
+// Sum totals a slice of any integer-kinded type.
+func Sum[T ~int | ~int64](xs []T) T {
+	var t T
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// UseGenerics instantiates both generics, forcing full resolution.
+func UseGenerics() int {
+	ps := []Pair[string, int]{{Key: "a", Val: 1}, {Key: "b", Val: 2}}
+	return len(Keys(ps)) + int(Sum([]int64{1, 2, 3}))
+}

@@ -1,0 +1,10 @@
+//go:build !codelint_excluded_fixture
+
+// The build constraint on this file is SATISFIED — only the _test.go
+// suffix keeps it out, proving the test-file skip is independent of
+// tag evaluation.
+package loader
+
+// UseGenerics redeclares the real one: a loader that admitted test
+// files whose tags match would fail the type check on it.
+func UseGenerics() int { return -2 }
